@@ -1,0 +1,17 @@
+"""Benchmark (ablation A): hybrid selector vs single approximations, accuracy and time."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_hybrid import format_ablation_hybrid, run_ablation_hybrid
+
+
+def test_ablation_hybrid(benchmark, bench_scale):
+    rows = run_once(benchmark, run_ablation_hybrid, dataset="flickr", theta=0.2, scale=bench_scale)
+    by_name = {row.estimator: row for row in rows}
+    # Exact DP has zero error by construction; the hybrid stays close to it.
+    assert by_name["dp"].average_error == 0.0
+    assert by_name["hybrid"].average_error <= 0.5
+    print()
+    print(format_ablation_hybrid(rows))

@@ -1,0 +1,19 @@
+"""Benchmark (ablation B): Monte-Carlo sample size vs estimation error (Hoeffding check)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_sampling import (
+    format_ablation_sampling,
+    run_ablation_sampling,
+)
+
+
+def test_ablation_sampling(benchmark, bench_scale):
+    rows = run_once(benchmark, run_ablation_sampling, seed=0)
+    assert rows
+    # Observed errors stay within a small multiple of the Hoeffding guarantee.
+    assert all(row.max_observed_error <= 3 * row.hoeffding_epsilon for row in rows)
+    print()
+    print(format_ablation_sampling(rows))

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (runtime of local decomposition, DP vs AP)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+def test_figure4(benchmark, bench_scale):
+    rows = run_once(benchmark, run_figure4, scale=bench_scale)
+    assert len(rows) == 6 * 5
+    # DP and AP must agree on the maximum score (the accuracy side of the figure).
+    assert all(abs(row.dp_max_score - row.ap_max_score) <= 1 for row in rows)
+    print()
+    print(format_figure4(rows))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (runtime of global FG vs weakly-global WG)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+
+def test_figure5(benchmark, bench_scale):
+    rows = run_once(
+        benchmark, run_figure5, theta=0.001, n_samples=100, scale=bench_scale, seed=0
+    )
+    assert len(rows) == 6
+    # The paper's headline: WG is generally faster than FG.
+    faster = sum(1 for row in rows if row.wg_seconds <= row.fg_seconds)
+    assert faster >= len(rows) // 2
+    print()
+    print(format_figure5(rows))

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (relative error of the statistical approximations)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+
+def test_figure6(benchmark, bench_scale):
+    rows = run_once(benchmark, run_figure6, num_profiles=200, seed=0)
+    assert rows
+    by_panel = {}
+    for row in rows:
+        by_panel.setdefault(row.panel, []).append(row)
+    # Panel (a): Poisson beats the CLT when the probabilities are small.
+    poisson = [r for r in by_panel["6a"] if r.estimator == "poisson"]
+    clt = [r for r in by_panel["6a"] if r.estimator == "clt"]
+    assert sum(r.average_relative_error for r in poisson) <= sum(
+        r.average_relative_error for r in clt
+    )
+    print()
+    print(format_figure6(rows))

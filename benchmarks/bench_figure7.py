@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (ℓ-(k, θ)-nucleus quality vs k on the flickr analogue)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure7 import format_figure7, run_figure7
+
+
+def test_figure7(benchmark, bench_scale):
+    rows = run_once(benchmark, run_figure7, dataset="flickr", theta=0.3, scale=bench_scale)
+    assert rows
+    # PD and PCC stay high (the paper reports 70%+ already at small k).
+    assert all(row.average_density >= 0.5 for row in rows if row.num_nuclei)
+    # The number of nuclei never increases with k.
+    counts = [row.num_nuclei for row in rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    print()
+    print(format_figure7(rows))

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (PD / PCC of global vs weakly-global vs local nuclei)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure8 import format_figure8, run_figure8
+
+
+def test_figure8(benchmark, bench_scale):
+    rows = run_once(
+        benchmark,
+        run_figure8,
+        theta=0.001,
+        n_samples=50,
+        scale="tiny" if bench_scale == "tiny" else bench_scale,
+        seed=0,
+    )
+    assert {row.mode for row in rows} == {"global", "weakly-global", "local"}
+    assert all(0.0 <= row.average_density <= 1.0 for row in rows)
+    print()
+    print(format_figure8(rows))

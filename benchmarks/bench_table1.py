@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (dataset statistics)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark, bench_scale):
+    rows = run_once(benchmark, run_table1, scale=bench_scale)
+    assert len(rows) == 6
+    print()
+    print(format_table1(rows))

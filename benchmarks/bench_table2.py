@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (accuracy of AP vs DP nucleus scores)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2(benchmark, bench_scale):
+    rows = run_once(benchmark, run_table2, scale=bench_scale)
+    assert rows
+    # The paper's headline: AP errors stay small on every dataset.
+    assert all(row.average_error <= 0.5 for row in rows)
+    print()
+    print(format_table2(rows))

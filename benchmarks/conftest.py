@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper on the ``tiny``
+dataset scale (so the whole suite finishes in minutes on a laptop) and runs a
+single round: the quantity of interest is the relative cost of the pipelines
+(e.g. DP vs AP, FG vs WG), not micro-second stability.  Set
+``REPRO_BENCH_SCALE=small`` in the environment to benchmark the larger
+analogues used for the EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Dataset scale used by every benchmark ("tiny" unless overridden)."""
+    return SCALE
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+"""Detect tightly-knit collaboration communities in an uncertain co-authorship graph.
+
+The dblp use-case of the paper: edges between authors carry a probability
+derived from how often they have collaborated, and nucleus decomposition
+surfaces the research groups that keep publishing together.  The example
+
+1. builds a dblp-style co-authorship network (repeat collaborations inside
+   groups, one-off collaborations across groups),
+2. sweeps the threshold θ and reports how the nucleus hierarchy changes,
+3. prints the hierarchy of nuclei (k = 1 up to the maximum) for one θ,
+   illustrating the nested structure nucleus decomposition is known for, and
+4. contrasts exact DP scores with the fast statistical approximation (AP).
+
+Run with::
+
+    python examples/collaboration_communities.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import HybridEstimator, local_nucleus_decomposition, probabilistic_density
+from repro.graph.generators import collaboration_probability, planted_nucleus_graph
+
+
+def build_coauthorship_network():
+    """A dblp-style network: research groups with repeated collaborations."""
+    return planted_nucleus_graph(
+        community_sizes=[12, 10, 9, 8, 7, 6],
+        intra_density=0.88,
+        background_vertices=120,
+        background_density=0.025,
+        bridges_per_community=5,
+        probability_model=collaboration_probability(mean_collaborations=4.0, scale=2.0),
+        background_probability_model=collaboration_probability(
+            mean_collaborations=0.5, scale=4.0
+        ),
+        seed=23,
+    )
+
+
+def main() -> None:
+    network = build_coauthorship_network()
+    print(
+        f"Co-authorship network: {network.num_vertices} authors, "
+        f"{network.num_edges} collaboration edges\n"
+    )
+
+    # --- threshold sweep -------------------------------------------------
+    print("How the decomposition reacts to the confidence threshold:")
+    print(f"{'theta':>6}  {'max k':>5}  {'#nuclei@max':>11}  {'avg PD@max':>10}")
+    for theta in (0.05, 0.1, 0.2, 0.3, 0.5):
+        result = local_nucleus_decomposition(network, theta)
+        top = result.nuclei(result.max_score) if result.max_score >= 0 else []
+        average_density = (
+            sum(probabilistic_density(n.subgraph) for n in top) / len(top) if top else 0.0
+        )
+        print(
+            f"{theta:>6.2f}  {result.max_score:>5}  {len(top):>11}  {average_density:>10.3f}"
+        )
+
+    # --- hierarchy at a fixed threshold ----------------------------------
+    theta = 0.2
+    result = local_nucleus_decomposition(network, theta)
+    print(f"\nNucleus hierarchy at theta = {theta}:")
+    for k in range(1, result.max_score + 1):
+        nuclei = result.nuclei(k)
+        sizes = sorted((n.num_vertices for n in nuclei), reverse=True)
+        print(f"  k={k}: {len(nuclei)} group(s), sizes {sizes}")
+
+    # --- DP vs AP ---------------------------------------------------------
+    start = time.perf_counter()
+    exact = local_nucleus_decomposition(network, theta)
+    dp_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    approximate = local_nucleus_decomposition(network, theta, estimator=HybridEstimator())
+    ap_seconds = time.perf_counter() - start
+    differing = sum(
+        1 for t in exact.scores if exact.scores[t] != approximate.scores[t]
+    )
+    print(
+        f"\nExact DP took {dp_seconds:.3f}s; statistical approximation took {ap_seconds:.3f}s; "
+        f"scores differ on {differing}/{len(exact.scores)} triangles"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Compare probabilistic nucleus, truss, and core decompositions side by side.
+
+Reproduces the spirit of the paper's quality evaluation (Table 3 / Figure 8)
+on a single social-network-style graph: for each decomposition the densest
+level is extracted and its probabilistic density (PD) and clustering
+coefficient (PCC) are reported, showing the nucleus > truss > core ordering
+the paper highlights.  The example also writes the graph to an edge-list file
+and reads it back, demonstrating the I/O round trip a user would run on their
+own data.
+
+Run with::
+
+    python examples/compare_decompositions.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    local_nucleus_decomposition,
+    probabilistic_clustering_coefficient,
+    probabilistic_core_decomposition,
+    probabilistic_density,
+    probabilistic_truss_decomposition,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.baselines import k_eta_core_subgraph, k_gamma_truss_subgraph
+from repro.deterministic import connected_components
+from repro.experiments.datasets import load_dataset
+
+
+def build_social_network():
+    """The flickr analogue of the dataset registry: interest-group communities
+    with near-certain internal ties over a low-probability periphery."""
+    return load_dataset("flickr", scale="small")
+
+
+def quality(subgraph) -> str:
+    return (
+        f"|V|={subgraph.num_vertices:>3}  |E|={subgraph.num_edges:>4}  "
+        f"PD={probabilistic_density(subgraph):.3f}  "
+        f"PCC={probabilistic_clustering_coefficient(subgraph):.3f}"
+    )
+
+
+def main() -> None:
+    network = build_social_network()
+    theta = 0.1
+
+    # Round-trip the network through the on-disk edge-list format.
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "social.edges"
+        write_edge_list(network, path)
+        network = read_edge_list(path)
+    print(
+        f"Social network: {network.num_vertices} users, {network.num_edges} ties, "
+        f"average tie probability {network.average_probability():.2f}\n"
+    )
+
+    # --- nucleus ----------------------------------------------------------
+    local = local_nucleus_decomposition(network, theta)
+    print(f"Probabilistic nucleus decomposition (theta={theta}):")
+    print(f"  maximum score k_N = {local.max_score}")
+    for nucleus in local.nuclei(max(local.max_score, 0)):
+        print(f"  nucleus: {quality(nucleus.subgraph)}")
+
+    # --- truss ------------------------------------------------------------
+    truss = probabilistic_truss_decomposition(network, gamma=theta)
+    truss_max = max(truss.values())
+    truss_subgraph = k_gamma_truss_subgraph(network, truss_max, theta, truss)
+    print(f"\nProbabilistic truss decomposition (gamma={theta}):")
+    print(f"  maximum score k_T = {truss_max}")
+    for component in connected_components(truss_subgraph):
+        print(f"  truss component: {quality(truss_subgraph.subgraph(component))}")
+
+    # --- core -------------------------------------------------------------
+    core = probabilistic_core_decomposition(network, eta=theta)
+    core_max = max(core.values())
+    core_subgraph = k_eta_core_subgraph(network, core_max, theta, core)
+    print(f"\nProbabilistic core decomposition (eta={theta}):")
+    print(f"  maximum score k_C = {core_max}")
+    for component in connected_components(core_subgraph):
+        print(f"  core component: {quality(core_subgraph.subgraph(component))}")
+
+    print(
+        "\nExpected ordering (paper, Table 3): nucleus subgraphs are smaller but denser "
+        "and more clustered than truss subgraphs, which in turn beat core subgraphs."
+    )
+
+
+if __name__ == "__main__":
+    main()

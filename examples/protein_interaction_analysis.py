@@ -1,0 +1,98 @@
+"""Find high-confidence protein complexes in a noisy interaction network.
+
+The paper's motivating biological use-case: protein-protein interaction data
+(krogan, biomine) comes with per-edge confidence scores, and dense groups of
+mutually-interacting proteins are candidate complexes.  This example
+
+1. generates a krogan-style synthetic interaction network (planted complexes
+   with high-confidence edges over a noisy background),
+2. runs the local probabilistic nucleus decomposition at two thresholds,
+3. compares the recovered complexes against the probabilistic core and truss
+   baselines using the paper's PD / PCC quality metrics, and
+4. shows how the strictest (global) model isolates the most reliable cores.
+
+Run with::
+
+    python examples/protein_interaction_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    global_nucleus_decomposition,
+    local_nucleus_decomposition,
+    probabilistic_clustering_coefficient,
+    probabilistic_core_decomposition,
+    probabilistic_density,
+    probabilistic_truss_decomposition,
+)
+from repro.baselines import k_eta_core_subgraph, k_gamma_truss_subgraph
+from repro.graph.generators import confidence_probability, planted_nucleus_graph
+
+
+def build_interaction_network():
+    """A krogan-style network: five protein complexes over a noisy background."""
+    return planted_nucleus_graph(
+        community_sizes=[10, 9, 8, 7, 6],
+        intra_density=0.92,
+        background_vertices=80,
+        background_density=0.05,
+        bridges_per_community=4,
+        probability_model=confidence_probability(mode=0.8, concentration=12),
+        background_probability_model=confidence_probability(mode=0.45, concentration=5),
+        seed=7,
+    )
+
+
+def describe(label: str, subgraph) -> None:
+    print(
+        f"  {label:<28} |V|={subgraph.num_vertices:>3}  |E|={subgraph.num_edges:>4}  "
+        f"PD={probabilistic_density(subgraph):.3f}  "
+        f"PCC={probabilistic_clustering_coefficient(subgraph):.3f}"
+    )
+
+
+def main() -> None:
+    network = build_interaction_network()
+    print(
+        f"Interaction network: {network.num_vertices} proteins, "
+        f"{network.num_edges} scored interactions, "
+        f"average confidence {network.average_probability():.2f}\n"
+    )
+
+    for theta in (0.1, 0.3):
+        print(f"=== threshold theta = {theta} ===")
+        local = local_nucleus_decomposition(network, theta)
+        k = local.max_score
+        print(f"Maximum local nucleus score: {k}")
+        for index, nucleus in enumerate(local.nuclei(k)):
+            describe(f"nucleus #{index} (k={k})", nucleus.subgraph)
+
+        # Baselines at their own maximum scores, as in Table 3 of the paper.
+        core = probabilistic_core_decomposition(network, eta=theta)
+        core_max = max(core.values())
+        describe(f"(k,eta)-core (k={core_max})", k_eta_core_subgraph(network, core_max, theta, core))
+
+        truss = probabilistic_truss_decomposition(network, gamma=theta)
+        truss_max = max(truss.values())
+        describe(
+            f"(k,gamma)-truss (k={truss_max})",
+            k_gamma_truss_subgraph(network, truss_max, theta, truss),
+        )
+        print()
+
+    # The global model: which complexes survive as a whole with good probability?
+    theta = 0.01
+    local = local_nucleus_decomposition(network, theta)
+    global_nuclei = global_nucleus_decomposition(
+        network, k=2, theta=theta, n_samples=150, seed=1, local_result=local
+    )
+    print(f"=== global g-(2, {theta})-nuclei (candidate complexes) ===")
+    if not global_nuclei:
+        print("  none found at this threshold")
+    for index, nucleus in enumerate(global_nuclei):
+        describe(f"complex candidate #{index}", nucleus.subgraph)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — Nucleus decomposition in probabilistic graphs.
+
+A reproduction of *"Nucleus Decomposition in Probabilistic Graphs: Hardness
+and Algorithms"* (Esfahani, Srinivasan, Thomo, Wu — ICDE 2022).
+
+The package is organised as:
+
+* :mod:`repro.graph` — probabilistic graph substrate (data structure, I/O,
+  synthetic generators, possible-world semantics).
+* :mod:`repro.deterministic` — deterministic cliques, k-core, k-truss, and
+  (3,4)-nucleus machinery.
+* :mod:`repro.core` — the paper's contribution: local (ℓ), global (g), and
+  weakly-global (w) probabilistic nucleus decomposition, the exact DP support
+  oracle, and the §5.3 statistical approximations.
+* :mod:`repro.baselines` — probabilistic (k, η)-core and (k, γ)-truss.
+* :mod:`repro.sampling` — Monte-Carlo estimation and network reliability.
+* :mod:`repro.hardness` — executable versions of the hardness reductions.
+* :mod:`repro.metrics` — probabilistic density and clustering coefficient.
+* :mod:`repro.experiments` — the harness that regenerates every table and
+  figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import ProbabilisticGraph, local_nucleus_decomposition
+>>> g = ProbabilisticGraph()
+>>> for u, v in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]:
+...     g.add_edge(u, v, 0.9)
+>>> result = local_nucleus_decomposition(g, theta=0.4)
+>>> result.max_score
+1
+"""
+
+from repro.baselines import (
+    probabilistic_core_decomposition,
+    probabilistic_truss_decomposition,
+)
+from repro.core import (
+    BinomialEstimator,
+    DynamicProgrammingEstimator,
+    HybridEstimator,
+    HybridParameters,
+    LocalNucleusDecomposition,
+    NormalEstimator,
+    PoissonEstimator,
+    ProbabilisticNucleus,
+    TranslatedPoissonEstimator,
+    global_nucleus_decomposition,
+    local_nucleus_decomposition,
+    weak_nucleus_decomposition,
+)
+from repro.graph import (
+    ProbabilisticGraph,
+    graph_statistics,
+    read_edge_list,
+    sample_world,
+    write_edge_list,
+)
+from repro.metrics import (
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ProbabilisticGraph",
+    "graph_statistics",
+    "read_edge_list",
+    "write_edge_list",
+    "sample_world",
+    "local_nucleus_decomposition",
+    "global_nucleus_decomposition",
+    "weak_nucleus_decomposition",
+    "LocalNucleusDecomposition",
+    "ProbabilisticNucleus",
+    "DynamicProgrammingEstimator",
+    "PoissonEstimator",
+    "TranslatedPoissonEstimator",
+    "NormalEstimator",
+    "BinomialEstimator",
+    "HybridEstimator",
+    "HybridParameters",
+    "probabilistic_core_decomposition",
+    "probabilistic_truss_decomposition",
+    "probabilistic_density",
+    "probabilistic_clustering_coefficient",
+]

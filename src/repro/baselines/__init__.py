@@ -1,0 +1,25 @@
+"""Baselines the paper compares against: probabilistic core and truss decompositions."""
+
+from repro.baselines.probabilistic_core import (
+    eta_degrees,
+    k_eta_core_subgraph,
+    max_core_score,
+    probabilistic_core_decomposition,
+)
+from repro.baselines.probabilistic_truss import (
+    edge_triangle_probabilities,
+    k_gamma_truss_subgraph,
+    max_truss_score,
+    probabilistic_truss_decomposition,
+)
+
+__all__ = [
+    "eta_degrees",
+    "k_eta_core_subgraph",
+    "max_core_score",
+    "probabilistic_core_decomposition",
+    "edge_triangle_probabilities",
+    "k_gamma_truss_subgraph",
+    "max_truss_score",
+    "probabilistic_truss_decomposition",
+]

@@ -1,0 +1,68 @@
+"""The paper's primary contribution: probabilistic nucleus decomposition.
+
+Public entry points:
+
+* :func:`local_nucleus_decomposition` — ℓ-NuDecomp (Algorithm 1), exact DP or
+  statistically approximated support scores.
+* :func:`global_nucleus_decomposition` — g-NuDecomp (Algorithm 2),
+  pruning + Monte-Carlo verification.
+* :func:`weak_nucleus_decomposition` — w-NuDecomp (Algorithm 3),
+  per-candidate Monte-Carlo scoring.
+* The support estimators of :mod:`repro.core.approximations` and the §5.3
+  :class:`HybridEstimator`.
+"""
+
+from repro.core.approximations import (
+    BinomialEstimator,
+    DynamicProgrammingEstimator,
+    NormalEstimator,
+    PoissonEstimator,
+    SupportEstimator,
+    TranslatedPoissonEstimator,
+    le_cam_error_bound,
+)
+from repro.core.global_nucleus import (
+    candidate_closure,
+    global_nucleus_decomposition,
+    union_of_nuclei,
+)
+from repro.core.hybrid import HybridEstimator, HybridParameters
+from repro.core.local import (
+    clique_extension_probability,
+    local_nucleus_decomposition,
+    triangle_existence_probability,
+)
+from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
+from repro.core.support_dp import (
+    NO_VALID_K,
+    max_k_at_threshold,
+    poisson_binomial_pmf,
+    support_tail_probabilities,
+)
+from repro.core.weak_nucleus import triangle_weak_scores, weak_nucleus_decomposition
+
+__all__ = [
+    "BinomialEstimator",
+    "DynamicProgrammingEstimator",
+    "NormalEstimator",
+    "PoissonEstimator",
+    "SupportEstimator",
+    "TranslatedPoissonEstimator",
+    "le_cam_error_bound",
+    "HybridEstimator",
+    "HybridParameters",
+    "candidate_closure",
+    "global_nucleus_decomposition",
+    "union_of_nuclei",
+    "clique_extension_probability",
+    "local_nucleus_decomposition",
+    "triangle_existence_probability",
+    "LocalNucleusDecomposition",
+    "ProbabilisticNucleus",
+    "NO_VALID_K",
+    "max_k_at_threshold",
+    "poisson_binomial_pmf",
+    "support_tail_probabilities",
+    "triangle_weak_scores",
+    "weak_nucleus_decomposition",
+]

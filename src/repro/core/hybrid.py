@@ -1,0 +1,131 @@
+"""Hybrid support estimator implementing the selection rules of §5.3.
+
+The paper ("Summary" paragraph of Section 5.3) chooses, per triangle, which
+approximation of the support tail to use based on four hyper-parameters
+``A, B, C, D`` (default values ``A = 200, B = 100, C = 0.25, D = 0.9`` found
+by comparing against the exact DP on a few thousand sampled triangles):
+
+1. if ``c_△ ≥ A`` use the CLT (Normal) approximation;
+2. else if ``c_△ < B`` and every ``Pr(E_i) < C`` use the Poisson approximation;
+3. else if ``Σ Pr(E_i)² > 1`` use the Translated Poisson approximation;
+4. else if the ratio of the true variance of ζ to the variance of the matched
+   Binomial is at least ``D`` (i.e. close to 1) use the Binomial approximation;
+5. otherwise fall back to exact dynamic programming.
+
+:class:`HybridEstimator` applies exactly these rules.  It also records how
+often each branch fires so the ablation experiments can report how much work
+escapes the approximations and falls back to DP.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.approximations import (
+    BinomialEstimator,
+    DynamicProgrammingEstimator,
+    NormalEstimator,
+    PoissonEstimator,
+    SupportEstimator,
+    TranslatedPoissonEstimator,
+)
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["HybridParameters", "HybridEstimator"]
+
+
+@dataclass(frozen=True)
+class HybridParameters:
+    """The four selection hyper-parameters of §5.3 with the paper's defaults."""
+
+    clt_min_cliques: int = 200        # A: use CLT when c_△ ≥ A
+    poisson_max_cliques: int = 100    # B: Poisson requires c_△ < B
+    poisson_max_probability: float = 0.25  # C: Poisson requires all Pr(E_i) < C
+    binomial_min_variance_ratio: float = 0.9  # D: Binomial requires ratio ≥ D
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidParameterError` if any parameter is out of range."""
+        if self.clt_min_cliques < 1:
+            raise InvalidParameterError("clt_min_cliques (A) must be >= 1")
+        if self.poisson_max_cliques < 1:
+            raise InvalidParameterError("poisson_max_cliques (B) must be >= 1")
+        if not 0.0 < self.poisson_max_probability <= 1.0:
+            raise InvalidParameterError("poisson_max_probability (C) must be in (0, 1]")
+        if not 0.0 < self.binomial_min_variance_ratio <= 1.0:
+            raise InvalidParameterError(
+                "binomial_min_variance_ratio (D) must be in (0, 1]"
+            )
+
+
+class HybridEstimator(SupportEstimator):
+    """Per-triangle selection between CLT, Poisson, Translated Poisson, Binomial, and DP."""
+
+    name = "hybrid"
+
+    def __init__(self, parameters: HybridParameters | None = None) -> None:
+        self.parameters = parameters or HybridParameters()
+        self.parameters.validate()
+        self._dp = DynamicProgrammingEstimator()
+        self._poisson = PoissonEstimator()
+        self._translated = TranslatedPoissonEstimator()
+        self._normal = NormalEstimator()
+        self._binomial = BinomialEstimator()
+        #: How many times each underlying estimator was selected.
+        self.selection_counts: Counter[str] = Counter()
+
+    def select(self, clique_probabilities: Sequence[float]) -> SupportEstimator:
+        """Return the estimator §5.3 prescribes for this clique-probability profile."""
+        params = self.parameters
+        count = len(clique_probabilities)
+        if count >= params.clt_min_cliques:
+            return self._normal
+        if count < params.poisson_max_cliques and all(
+            p < params.poisson_max_probability for p in clique_probabilities
+        ):
+            return self._poisson
+        if sum(p * p for p in clique_probabilities) > 1.0:
+            return self._translated
+        if self._variance_ratio(clique_probabilities) >= params.binomial_min_variance_ratio:
+            return self._binomial
+        return self._dp
+
+    @staticmethod
+    def _variance_ratio(clique_probabilities: Sequence[float]) -> float:
+        """Return ``Var(ζ) / Var(Binomial(n, μ/n))``, capped at its reciprocal.
+
+        The ratio is at most 1 (the matched Binomial always has the larger
+        variance among the two), so "close to 1" reduces to "at least D".
+        A degenerate zero-variance profile returns 1.0 (the Binomial is then
+        exact).
+        """
+        n = len(clique_probabilities)
+        if n == 0:
+            return 1.0
+        mean = sum(clique_probabilities)
+        true_variance = sum(p * (1.0 - p) for p in clique_probabilities)
+        p = mean / n
+        binomial_variance = n * p * (1.0 - p)
+        if binomial_variance <= 0.0:
+            return 1.0
+        return true_variance / binomial_variance
+
+    def tail_probabilities(self, clique_probabilities: Sequence[float]) -> list[float]:
+        estimator = self.select(clique_probabilities)
+        self.selection_counts[estimator.name] += 1
+        return estimator.tail_probabilities(clique_probabilities)
+
+    def max_k(
+        self,
+        triangle_probability: float,
+        clique_probabilities: Sequence[float],
+        theta: float,
+    ) -> int:
+        estimator = self.select(clique_probabilities)
+        self.selection_counts[estimator.name] += 1
+        return estimator.max_k(triangle_probability, clique_probabilities, theta)
+
+    def reset_counts(self) -> None:
+        """Clear the per-estimator selection counters."""
+        self.selection_counts.clear()

@@ -1,0 +1,166 @@
+"""Result containers for probabilistic nucleus decompositions.
+
+The decomposition algorithms return rich result objects rather than bare
+dictionaries so downstream code (experiments, metrics, examples) can ask for
+derived artefacts — the maximal ℓ-(k, θ)-nuclei for any ``k``, the maximum
+nucleus score, per-``k`` summaries — without re-running the peeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deterministic.cliques import Triangle
+from repro.deterministic.nucleus import k_nucleus_triangle_groups, triangles_to_edge_subgraph
+from repro.exceptions import InvalidParameterError
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+
+__all__ = ["LocalNucleusDecomposition", "ProbabilisticNucleus"]
+
+
+@dataclass(frozen=True)
+class ProbabilisticNucleus:
+    """One µ-(k, θ)-nucleus: a subgraph plus the parameters that produced it.
+
+    ``triangles`` is the set of triangles whose membership defines the
+    nucleus; ``subgraph`` is the corresponding edge-induced probabilistic
+    subgraph of the original graph.
+    """
+
+    k: int
+    theta: float
+    mode: str
+    subgraph: ProbabilisticGraph
+    triangles: frozenset[Triangle]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the nucleus subgraph."""
+        return self.subgraph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of the nucleus subgraph."""
+        return self.subgraph.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbabilisticNucleus(mode={self.mode!r}, k={self.k}, theta={self.theta}, "
+            f"vertices={self.num_vertices}, edges={self.num_edges}, "
+            f"triangles={len(self.triangles)})"
+        )
+
+
+class LocalNucleusDecomposition:
+    """Output of the local (ℓ) nucleus decomposition (Algorithm 1).
+
+    Attributes
+    ----------
+    graph:
+        The probabilistic graph that was decomposed.
+    theta:
+        The probability threshold θ.
+    scores:
+        The nucleus score ν(△) of every triangle.  A score of ``-1`` marks a
+        triangle whose own existence probability is below θ; such triangles
+        belong to no ℓ-(k, θ)-nucleus.
+    estimator_name:
+        Name of the support estimator that produced the scores ("dp",
+        "hybrid", "poisson", ...).
+    estimator_selections:
+        For the hybrid estimator, how many times each underlying
+        approximation was chosen (empty otherwise).
+    """
+
+    def __init__(
+        self,
+        graph: ProbabilisticGraph,
+        theta: float,
+        scores: dict[Triangle, int],
+        estimator_name: str,
+        estimator_selections: dict[str, int] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.theta = theta
+        self.scores = scores
+        self.estimator_name = estimator_name
+        self.estimator_selections = dict(estimator_selections or {})
+        self._groups_cache: dict[int, list[frozenset[Triangle]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # scalar summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_triangles(self) -> int:
+        """Total number of triangles that were scored."""
+        return len(self.scores)
+
+    @property
+    def max_score(self) -> int:
+        """The maximum nucleus score over all triangles (−1 if there are none)."""
+        return max(self.scores.values(), default=-1)
+
+    def triangles_with_score_at_least(self, k: int) -> set[Triangle]:
+        """Return the triangles whose nucleus score is at least ``k``."""
+        return {t for t, score in self.scores.items() if score >= k}
+
+    def score_histogram(self) -> dict[int, int]:
+        """Return ``{score: number of triangles with that score}``."""
+        histogram: dict[int, int] = {}
+        for score in self.scores.values():
+            histogram[score] = histogram.get(score, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # ------------------------------------------------------------------ #
+    # nuclei extraction
+    # ------------------------------------------------------------------ #
+    def _triangle_groups(self, k: int) -> list[frozenset[Triangle]]:
+        if k < 0:
+            raise InvalidParameterError(f"k must be non-negative, got {k}")
+        if k not in self._groups_cache:
+            groups = k_nucleus_triangle_groups(self.graph, k, nucleusness=self.scores)
+            self._groups_cache[k] = [frozenset(group) for group in groups]
+        return self._groups_cache[k]
+
+    def nuclei(self, k: int) -> list[ProbabilisticNucleus]:
+        """Return the maximal ℓ-(k, θ)-nuclei for the given ``k``.
+
+        Each nucleus is a maximal 4-clique-connected union of triangles with
+        nucleus score at least ``k``, returned as a
+        :class:`ProbabilisticNucleus` whose subgraph inherits the original
+        edge probabilities.
+        """
+        return [
+            ProbabilisticNucleus(
+                k=k,
+                theta=self.theta,
+                mode="local",
+                subgraph=triangles_to_edge_subgraph(self.graph, group),
+                triangles=group,
+            )
+            for group in self._triangle_groups(k)
+        ]
+
+    def all_nuclei(self) -> dict[int, list[ProbabilisticNucleus]]:
+        """Return the nuclei for every ``k`` from 0 to :attr:`max_score`.
+
+        Values of ``k`` that yield no nuclei map to an empty list.  For a
+        graph with no scored triangles the result is empty.
+        """
+        result: dict[int, list[ProbabilisticNucleus]] = {}
+        for k in range(0, self.max_score + 1):
+            result[k] = self.nuclei(k)
+        return result
+
+    def max_nucleus(self) -> list[ProbabilisticNucleus]:
+        """Return the nuclei at the maximum score level (empty if no triangle qualifies)."""
+        if self.max_score < 0:
+            return []
+        return self.nuclei(self.max_score)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalNucleusDecomposition(theta={self.theta}, "
+            f"triangles={self.num_triangles}, max_score={self.max_score}, "
+            f"estimator={self.estimator_name!r})"
+        )

@@ -1,0 +1,136 @@
+"""Weakly-global probabilistic nucleus decomposition (w-NuDecomp, Algorithm 3).
+
+The weakly-global model relaxes the global one: a possible world counts for a
+triangle when it merely *contains* a deterministic k-nucleus that includes
+the triangle (rather than being one in its entirety).  Computing the
+decomposition exactly is NP-hard (Theorem 4.2, reduction from k-clique), so
+Algorithm 3 approximates it:
+
+1. every w-(k, θ)-nucleus is an ℓ-(k, θ)-nucleus, so each local nucleus is
+   used as a candidate;
+2. ``n`` possible worlds of the candidate are sampled;
+3. each world is decomposed with the *deterministic* nucleus algorithm; a
+   triangle's global score counts the worlds in which it belongs to some
+   deterministic k-nucleus;
+4. the triangles whose estimated probability reaches θ are grouped into
+   4-clique-connected components, which are reported as the weakly-global
+   nuclei.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.approximations import SupportEstimator
+from repro.core.local import local_nucleus_decomposition
+from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
+from repro.deterministic.cliques import (
+    Triangle,
+    triangle_clique_index,
+    triangle_connected_components,
+)
+from repro.deterministic.nucleus import (
+    k_nucleus_triangle_groups,
+    nucleus_decomposition,
+    triangles_to_edge_subgraph,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.possible_worlds import sample_world
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.sampling.monte_carlo import hoeffding_sample_size
+
+__all__ = ["weak_nucleus_decomposition", "triangle_weak_scores"]
+
+
+def triangle_weak_scores(
+    candidate: ProbabilisticGraph,
+    k: int,
+    n_samples: int,
+    rng: random.Random,
+) -> dict[Triangle, float]:
+    """Estimate ``Pr(X_{H,△,w} ≥ k)`` for every triangle of a candidate subgraph.
+
+    Samples ``n_samples`` possible worlds of ``candidate``; in each world the
+    deterministic nucleus decomposition identifies the triangles belonging to
+    some k-nucleus, and each such triangle's counter is incremented
+    (Algorithm 3, lines 5–9).  The returned dictionary maps every triangle of
+    the candidate (not just the ones that ever scored) to its estimate.
+    """
+    if n_samples <= 0:
+        raise InvalidParameterError(f"n_samples must be positive, got {n_samples}")
+    by_triangle, _ = triangle_clique_index(candidate)
+    counts: dict[Triangle, int] = {t: 0 for t in by_triangle}
+
+    for _ in range(n_samples):
+        world = sample_world(candidate, rng=rng)
+        world_scores = nucleus_decomposition(world)
+        groups = k_nucleus_triangle_groups(world, k, nucleusness=world_scores)
+        for group in groups:
+            for triangle in group:
+                if triangle in counts:
+                    counts[triangle] += 1
+    return {t: c / n_samples for t, c in counts.items()}
+
+
+def weak_nucleus_decomposition(
+    graph: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    n_samples: int | None = None,
+    estimator: SupportEstimator | None = None,
+    local_result: LocalNucleusDecomposition | None = None,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> list[ProbabilisticNucleus]:
+    """Find (approximate) w-(k, θ)-nuclei of ``graph`` via Algorithm 3.
+
+    Parameters mirror
+    :func:`repro.core.global_nucleus.global_nucleus_decomposition`; the
+    returned nuclei carry ``mode="weakly-global"``.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be non-negative, got {k}")
+    if not 0.0 <= theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
+    if n_samples is None:
+        n_samples = hoeffding_sample_size(epsilon, delta)
+    if rng is None:
+        rng = random.Random(seed)
+
+    if local_result is None:
+        local_result = local_nucleus_decomposition(graph, theta, estimator=estimator)
+    candidates = local_result.nuclei(k)
+
+    solutions: list[ProbabilisticNucleus] = []
+    for candidate in candidates:
+        subgraph = candidate.subgraph
+        scores = triangle_weak_scores(subgraph, k, n_samples, rng)
+        qualifying = {t for t, score in scores.items() if score >= theta}
+        if not qualifying:
+            continue
+        by_triangle, by_clique = triangle_clique_index(subgraph)
+        allowed = {
+            clique
+            for clique, members in by_clique.items()
+            if all(t in qualifying for t in members)
+        }
+        covered = {
+            t for t in qualifying
+            if any(c in allowed for c in by_triangle.get(t, ()))
+        }
+        if not covered:
+            continue
+        components = triangle_connected_components(covered, by_triangle, allowed)
+        for component in components:
+            solutions.append(
+                ProbabilisticNucleus(
+                    k=k,
+                    theta=theta,
+                    mode="weakly-global",
+                    subgraph=triangles_to_edge_subgraph(graph, component),
+                    triangles=frozenset(component),
+                )
+            )
+    return solutions

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses communicate the nature of
+the failure (invalid probability, missing vertex/edge, malformed input file,
+invalid algorithm parameter).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph structure or contents."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class InvalidProbabilityError(GraphError, ValueError):
+    """Raised when an edge probability falls outside the interval ``(0, 1]``.
+
+    The paper's model maps every edge to a probability in ``(0, 1]``: an edge
+    with probability zero simply does not belong to the graph, and values
+    above one are meaningless.
+    """
+
+    def __init__(self, value: float, context: str = "") -> None:
+        message = f"edge probability must be in (0, 1], got {value!r}"
+        if context:
+            message = f"{message} ({context})"
+        super().__init__(message)
+        self.value = value
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when an algorithm parameter is outside its valid domain.
+
+    Examples include a negative ``k``, a threshold ``theta`` outside
+    ``[0, 1]``, or a non-positive Monte-Carlo sample count.
+    """
+
+
+class GraphFormatError(ReproError, ValueError):
+    """Raised when parsing an edge-list file fails."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number

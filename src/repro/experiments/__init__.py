@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+See DESIGN.md for the experiment index.  Every module exposes a ``run_*``
+function returning structured rows and a ``format_*`` function rendering them
+in the paper's layout; :mod:`repro.experiments.runner` wires them to the
+``python -m repro.experiments`` command line.
+"""
+
+from repro.experiments.datasets import (
+    DATASET_NAMES,
+    SCALES,
+    DatasetSpec,
+    dataset_spec,
+    load_all,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "SCALES",
+    "DatasetSpec",
+    "dataset_spec",
+    "load_all",
+    "load_dataset",
+]

@@ -1,0 +1,208 @@
+"""Experiment: Figure 6 — accuracy of the individual approximations vs DP.
+
+Figure 6 of the paper analyses the relative error of each statistical
+approximation against the exact DP under controlled conditions on the number
+of 4-cliques ``c_△`` and the range of the clique probabilities ``Pr(E_i)``:
+
+* **6a** — ``Pr(E_i) ∈ (0, 0.1]`` and ``c_△ ∈ {25, 50, 100}``: Binomial and
+  Poisson beat the CLT when the probabilities are small.
+* **6b** — ``c_△ = 50`` and ``Pr(E_i)`` drawn from ranges with upper bounds
+  {0.1, 0.25, 0.5, 1.0}: plain Poisson degrades as the probabilities grow
+  while the Translated Poisson stays accurate.
+* **6c** — probabilities close to each other and ``c_△ ∈ {25, 50, 100}``:
+  the Binomial approximation remains accurate whenever its variance-matching
+  condition holds.
+
+The error of a sampled triangle profile is
+``|κ_approx − κ_dp| / max(1, κ_dp)`` where κ is the largest ``k`` whose
+threshold condition holds at θ; the figure reports the average over the
+sampled profiles.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.approximations import (
+    BinomialEstimator,
+    DynamicProgrammingEstimator,
+    NormalEstimator,
+    PoissonEstimator,
+    SupportEstimator,
+    TranslatedPoissonEstimator,
+)
+
+__all__ = [
+    "Figure6Row",
+    "relative_support_error",
+    "run_figure6a",
+    "run_figure6b",
+    "run_figure6c",
+    "run_figure6",
+    "format_figure6",
+]
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    """Average relative error of one estimator under one condition."""
+
+    panel: str
+    estimator: str
+    condition: str
+    average_relative_error: float
+    num_profiles: int
+
+
+def relative_support_error(
+    estimator: SupportEstimator,
+    clique_probabilities: Sequence[float],
+    theta: float,
+    triangle_probability: float = 1.0,
+    exact: SupportEstimator | None = None,
+) -> float:
+    """Return ``|κ_approx − κ_dp| / max(1, κ_dp)`` for one triangle profile."""
+    exact = exact or DynamicProgrammingEstimator()
+    kappa_exact = exact.max_k(triangle_probability, clique_probabilities, theta)
+    kappa_approx = estimator.max_k(triangle_probability, clique_probabilities, theta)
+    return abs(kappa_approx - kappa_exact) / max(1, kappa_exact)
+
+
+def _sample_profiles(
+    rng: random.Random,
+    num_profiles: int,
+    c_delta: int,
+    low: float,
+    high: float,
+) -> list[list[float]]:
+    return [
+        [rng.uniform(low, high) for _ in range(c_delta)] for _ in range(num_profiles)
+    ]
+
+
+def _average_error(
+    estimator: SupportEstimator,
+    profiles: list[list[float]],
+    theta: float,
+) -> float:
+    exact = DynamicProgrammingEstimator()
+    errors = [
+        relative_support_error(estimator, profile, theta, exact=exact)
+        for profile in profiles
+    ]
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def run_figure6a(
+    c_deltas: Sequence[int] = (25, 50, 100),
+    theta: float = 0.3,
+    num_profiles: int = 200,
+    seed: int = 0,
+) -> list[Figure6Row]:
+    """Panel (a): small ``Pr(E_i)`` — Binomial / CLT / Poisson vs ``c_△``."""
+    rng = random.Random(seed)
+    estimators = (BinomialEstimator(), NormalEstimator(), PoissonEstimator())
+    rows = []
+    for c_delta in c_deltas:
+        profiles = _sample_profiles(rng, num_profiles, c_delta, 0.001, 0.1)
+        for estimator in estimators:
+            rows.append(
+                Figure6Row(
+                    panel="6a",
+                    estimator=estimator.name,
+                    condition=f"c={c_delta}, Pr(Ei) in (0, 0.1]",
+                    average_relative_error=_average_error(estimator, profiles, theta),
+                    num_profiles=num_profiles,
+                )
+            )
+    return rows
+
+
+def run_figure6b(
+    probability_ranges: Sequence[float] = (0.1, 0.25, 0.5, 1.0),
+    c_delta: int = 50,
+    theta: float = 0.3,
+    num_profiles: int = 200,
+    seed: int = 1,
+) -> list[Figure6Row]:
+    """Panel (b): ``c_△ = 50`` — Poisson vs Translated Poisson as ``Pr(E_i)`` grows."""
+    rng = random.Random(seed)
+    estimators = (PoissonEstimator(), TranslatedPoissonEstimator())
+    rows = []
+    for upper in probability_ranges:
+        profiles = _sample_profiles(rng, num_profiles, c_delta, 0.001, upper)
+        for estimator in estimators:
+            rows.append(
+                Figure6Row(
+                    panel="6b",
+                    estimator=estimator.name,
+                    condition=f"c={c_delta}, Pr(Ei) in (0, {upper}]",
+                    average_relative_error=_average_error(estimator, profiles, theta),
+                    num_profiles=num_profiles,
+                )
+            )
+    return rows
+
+
+def run_figure6c(
+    c_deltas: Sequence[int] = (25, 50, 100),
+    theta: float = 0.3,
+    num_profiles: int = 200,
+    spread: float = 0.05,
+    seed: int = 2,
+) -> list[Figure6Row]:
+    """Panel (c): ``Pr(E_i)`` close to each other — Binomial vs ``c_△``."""
+    rng = random.Random(seed)
+    estimator = BinomialEstimator()
+    rows = []
+    for c_delta in c_deltas:
+        profiles = []
+        for _ in range(num_profiles):
+            center = rng.uniform(0.1, 0.9)
+            low = max(0.001, center - spread)
+            high = min(1.0, center + spread)
+            profiles.append([rng.uniform(low, high) for _ in range(c_delta)])
+        rows.append(
+            Figure6Row(
+                panel="6c",
+                estimator=estimator.name,
+                condition=f"c={c_delta}, Pr(Ei) within ±{spread} of a common value",
+                average_relative_error=_average_error(estimator, profiles, theta),
+                num_profiles=num_profiles,
+            )
+        )
+    return rows
+
+
+def run_figure6(
+    theta: float = 0.3, num_profiles: int = 200, seed: int = 0
+) -> list[Figure6Row]:
+    """Run all three panels and return the concatenated rows."""
+    return (
+        run_figure6a(theta=theta, num_profiles=num_profiles, seed=seed)
+        + run_figure6b(theta=theta, num_profiles=num_profiles, seed=seed + 1)
+        + run_figure6c(theta=theta, num_profiles=num_profiles, seed=seed + 2)
+    )
+
+
+def format_figure6(rows: list[Figure6Row]) -> str:
+    """Render all panels as a fixed-width table."""
+    lines = [
+        f"{'panel':>5}  {'estimator':>20}  {'condition':>45}  {'avg rel error':>13}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.panel:>5}  {row.estimator:>20}  {row.condition:>45}  "
+            f"{row.average_relative_error:>13.4f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    print(format_figure6(run_figure6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

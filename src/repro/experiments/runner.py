@@ -1,0 +1,85 @@
+"""Command-line runner for the experiment harness.
+
+``python -m repro.experiments <name> [<name> ...]`` regenerates the named
+tables and figures; ``all`` runs every experiment.  Each experiment prints
+its rows in the same layout as the paper's table/figure, prefixed by a
+header identifying the experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable, Sequence
+
+from repro.experiments import (
+    ablation_hybrid,
+    ablation_sampling,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: Experiment name -> zero-argument callable returning the formatted report.
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "table1": lambda: table1.format_table1(table1.run_table1()),
+    "table2": lambda: table2.format_table2(table2.run_table2()),
+    "table3": lambda: table3.format_table3(table3.run_table3()),
+    "figure4": lambda: figure4.format_figure4(figure4.run_figure4()),
+    "figure5": lambda: figure5.format_figure5(figure5.run_figure5()),
+    "figure6": lambda: figure6.format_figure6(figure6.run_figure6()),
+    "figure7": lambda: figure7.format_figure7(figure7.run_figure7()),
+    "figure8": lambda: figure8.format_figure8(figure8.run_figure8()),
+    "ablation_hybrid": lambda: ablation_hybrid.format_ablation_hybrid(
+        ablation_hybrid.run_ablation_hybrid()
+    ),
+    "ablation_sampling": lambda: ablation_sampling.format_ablation_sampling(
+        ablation_sampling.run_ablation_sampling()
+    ),
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its formatted report."""
+    if name not in EXPERIMENTS:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; valid names: {valid}")
+    return EXPERIMENTS[name]()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on the dataset analogues.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    for name in names:
+        try:
+            report = run_experiment(name)
+        except KeyError as error:
+            parser.error(str(error))
+            return 2
+        print(f"=== {name} ===")
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

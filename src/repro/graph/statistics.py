@@ -1,0 +1,70 @@
+"""Dataset statistics in the format of Table 1 of the paper.
+
+Table 1 reports, for each dataset: the number of vertices ``|V|``, the number
+of edges ``|E|``, the maximum degree ``dmax``, the average edge probability
+``p_avg``, and the number of triangles ``|△|``.  :func:`graph_statistics`
+computes the same quantities for any :class:`ProbabilisticGraph` and
+:func:`format_statistics_table` renders a list of them as the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+
+__all__ = ["GraphStatistics", "graph_statistics", "format_statistics_table"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The per-dataset row of Table 1."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    average_probability: float
+    num_triangles: int
+
+    def as_row(self) -> tuple:
+        """Return the row as a plain tuple in Table 1 column order."""
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            round(self.average_probability, 2),
+            self.num_triangles,
+        )
+
+
+def graph_statistics(graph: ProbabilisticGraph, name: str = "graph") -> GraphStatistics:
+    """Compute the Table 1 statistics of a probabilistic graph.
+
+    The triangle count ignores probabilities (it is the number of triangles
+    in the deterministic backbone), matching the paper.
+    """
+    from repro.deterministic.cliques import count_triangles
+
+    return GraphStatistics(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        average_probability=graph.average_probability(),
+        num_triangles=count_triangles(graph),
+    )
+
+
+def format_statistics_table(rows: list[GraphStatistics]) -> str:
+    """Render a list of :class:`GraphStatistics` as a fixed-width text table."""
+    header = ("Graph", "|V|", "|E|", "dmax", "p_avg", "|tri|")
+    table_rows = [header] + [tuple(str(x) for x in row.as_row()) for row in rows]
+    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(table_rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Executable versions of the paper's hardness reductions (Section 4)."""
+
+from repro.hardness.reductions import (
+    CliqueReduction,
+    ReliabilityReduction,
+    global_indicator_probability,
+    only_k_nucleus_on_k_plus_3_vertices_is_clique,
+    reduce_clique_to_weak_nucleus,
+    reduce_reliability_to_global_nucleus,
+    weak_indicator_probability,
+)
+
+__all__ = [
+    "CliqueReduction",
+    "ReliabilityReduction",
+    "global_indicator_probability",
+    "only_k_nucleus_on_k_plus_3_vertices_is_clique",
+    "reduce_clique_to_weak_nucleus",
+    "reduce_reliability_to_global_nucleus",
+    "weak_indicator_probability",
+]

@@ -1,0 +1,24 @@
+"""Quality metrics: probabilistic density, clustering coefficient, cohesiveness reports."""
+
+from repro.metrics.clustering import (
+    expected_triangle_count,
+    expected_wedge_count,
+    probabilistic_clustering_coefficient,
+)
+from repro.metrics.cohesiveness import (
+    CohesivenessReport,
+    average_cohesiveness,
+    cohesiveness_report,
+)
+from repro.metrics.density import expected_average_degree, probabilistic_density
+
+__all__ = [
+    "expected_triangle_count",
+    "expected_wedge_count",
+    "probabilistic_clustering_coefficient",
+    "CohesivenessReport",
+    "average_cohesiveness",
+    "cohesiveness_report",
+    "expected_average_degree",
+    "probabilistic_density",
+]

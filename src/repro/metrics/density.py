@@ -1,0 +1,42 @@
+"""Probabilistic density (PD) of a probabilistic graph (Equation 19).
+
+The probabilistic density of ``G = (V, E, p)`` is the expected number of
+edges divided by the number of vertex pairs:
+
+.. math::
+
+    PD(G) = \\frac{\\sum_{e ∈ E} p(e)}{\\tfrac12 |V|·(|V|−1)}
+
+It is the probabilistic analogue of graph density and is the first of the
+two cohesiveness metrics the paper uses to compare nucleus, truss, and core
+subgraphs (Table 3, Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+
+__all__ = ["probabilistic_density", "expected_average_degree"]
+
+
+def probabilistic_density(graph: ProbabilisticGraph) -> float:
+    """Return the probabilistic density PD(G) of Equation 19.
+
+    Graphs with fewer than two vertices have density 0 by convention (there
+    are no vertex pairs to be dense over).
+    """
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    expected_edges = sum(p for _, _, p in graph.edges())
+    possible_edges = n * (n - 1) / 2.0
+    return expected_edges / possible_edges
+
+
+def expected_average_degree(graph: ProbabilisticGraph) -> float:
+    """Return the expected average degree ``2·Σ p(e) / |V|`` (0 for an empty graph)."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    expected_edges = sum(p for _, _, p in graph.edges())
+    return 2.0 * expected_edges / n

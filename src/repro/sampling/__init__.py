@@ -1,0 +1,25 @@
+"""Monte-Carlo machinery: sample sizes, world-probability estimation, reliability."""
+
+from repro.sampling.monte_carlo import (
+    MonteCarloEstimate,
+    estimate_world_probability,
+    hoeffding_error_bound,
+    hoeffding_sample_size,
+)
+from repro.sampling.reliability import (
+    binary_search_reliability,
+    estimate_reliability,
+    exact_reliability,
+    reliability_decision,
+)
+
+__all__ = [
+    "MonteCarloEstimate",
+    "estimate_world_probability",
+    "hoeffding_error_bound",
+    "hoeffding_sample_size",
+    "binary_search_reliability",
+    "estimate_reliability",
+    "exact_reliability",
+    "reliability_decision",
+]

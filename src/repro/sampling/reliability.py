@@ -1,0 +1,110 @@
+"""Network reliability of probabilistic graphs.
+
+The reliability of a probabilistic graph is the probability that a sampled
+possible world is connected (Definition 6 of the paper, after Valiant).  The
+paper uses the #P-hardness of (the decision version of) reliability to prove
+that the global nucleus decomposition is #P-hard, via the reduction of
+Lemma 2.
+
+This module provides an exact evaluator (world enumeration; exponential, for
+small graphs and tests) and a Monte-Carlo estimator, plus the binary-search
+argument of Lemma 1 expressed as a reusable helper.  The reduction itself is
+constructed in :mod:`repro.hardness.reductions`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.deterministic.connectivity import is_connected
+from repro.exceptions import InvalidParameterError
+from repro.graph.possible_worlds import enumerate_worlds
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.sampling.monte_carlo import MonteCarloEstimate, estimate_world_probability
+
+__all__ = [
+    "exact_reliability",
+    "estimate_reliability",
+    "reliability_decision",
+    "binary_search_reliability",
+]
+
+
+def exact_reliability(graph: ProbabilisticGraph, max_edges: int = 20) -> float:
+    """Return the exact reliability by enumerating all possible worlds.
+
+    Only vertices that appear in the graph are considered; the empty graph
+    has reliability 0 (there is nothing to connect).  Enumeration is refused
+    for graphs with more than ``max_edges`` edges.
+    """
+    if graph.num_vertices == 0:
+        return 0.0
+    total = 0.0
+    for world, probability in enumerate_worlds(graph, max_edges=max_edges):
+        if is_connected(world):
+            total += probability
+    return min(1.0, total)
+
+
+def estimate_reliability(
+    graph: ProbabilisticGraph,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    n_samples: int | None = None,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> MonteCarloEstimate:
+    """Estimate the reliability by Monte-Carlo sampling of possible worlds."""
+    return estimate_world_probability(
+        graph,
+        is_connected,
+        epsilon=epsilon,
+        delta=delta,
+        n_samples=n_samples,
+        rng=rng,
+        seed=seed,
+    )
+
+
+def reliability_decision(graph: ProbabilisticGraph, theta: float,
+                         max_edges: int = 20) -> bool:
+    """Decision version of reliability (Definition 7): is reliability ≥ θ?
+
+    Computed exactly via enumeration; intended for the small instances used
+    in the hardness-reduction demonstrations and tests.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
+    return exact_reliability(graph, max_edges=max_edges) >= theta
+
+
+def binary_search_reliability(
+    decision_oracle: Callable[[float], bool],
+    precision: float = 1e-6,
+) -> float:
+    """Recover a reliability value from a decision oracle by binary search.
+
+    This is the constructive content of Lemma 1: polynomially many calls to
+    the decision version pin down the reliability to machine precision,
+    which is why the decision version inherits #P-hardness.
+
+    Parameters
+    ----------
+    decision_oracle:
+        Function mapping a threshold θ to "reliability ≥ θ?".
+    precision:
+        Width of the final interval.
+    """
+    if precision <= 0.0:
+        raise InvalidParameterError("precision must be positive")
+    low, high = 0.0, 1.0
+    # Invariant: reliability >= low, and (high < reliability) is false,
+    # i.e. reliability lies in [low, high].
+    while high - low > precision:
+        mid = (low + high) / 2.0
+        if decision_oracle(mid):
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

@@ -1,0 +1,205 @@
+"""Tests for the statistical approximations of §5.3 and the hybrid selector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximations import (
+    BinomialEstimator,
+    DynamicProgrammingEstimator,
+    NormalEstimator,
+    PoissonEstimator,
+    TranslatedPoissonEstimator,
+    le_cam_error_bound,
+    poisson_tail_probabilities,
+)
+from repro.core.hybrid import HybridEstimator, HybridParameters
+from repro.core.support_dp import NO_VALID_K
+from repro.exceptions import InvalidParameterError
+
+ALL_APPROXIMATIONS = [
+    PoissonEstimator(),
+    TranslatedPoissonEstimator(),
+    NormalEstimator(),
+    BinomialEstimator(),
+]
+
+
+class TestPoissonTail:
+    def test_tail_starts_at_one(self):
+        tails = poisson_tail_probabilities(2.0, 5)
+        assert tails[0] == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        lam = 3.7
+        tails = poisson_tail_probabilities(lam, 12)
+        for k, tail in enumerate(tails):
+            assert tail == pytest.approx(stats.poisson.sf(k - 1, lam), abs=1e-9)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_tail_probabilities(-1.0, 3)
+
+
+class TestLeCamBound:
+    def test_bound_value(self):
+        assert le_cam_error_bound([0.1, 0.2]) == pytest.approx(2 * (0.01 + 0.04))
+
+    def test_small_probabilities_give_small_bound(self):
+        assert le_cam_error_bound([0.01] * 10) < 0.01
+
+
+class TestEstimatorContracts:
+    @pytest.mark.parametrize("estimator", ALL_APPROXIMATIONS, ids=lambda e: e.name)
+    def test_tail_length_and_range(self, estimator):
+        probabilities = [0.2, 0.5, 0.8, 0.3]
+        tails = estimator.tail_probabilities(probabilities)
+        assert len(tails) == len(probabilities) + 1
+        assert all(0.0 <= t <= 1.0 for t in tails)
+
+    @pytest.mark.parametrize("estimator", ALL_APPROXIMATIONS, ids=lambda e: e.name)
+    def test_tails_monotone_non_increasing(self, estimator):
+        probabilities = [0.3] * 10
+        tails = estimator.tail_probabilities(probabilities)
+        assert all(a >= b - 1e-9 for a, b in zip(tails, tails[1:]))
+
+    @pytest.mark.parametrize("estimator", ALL_APPROXIMATIONS, ids=lambda e: e.name)
+    def test_invalid_probability_rejected(self, estimator):
+        with pytest.raises(InvalidParameterError):
+            estimator.tail_probabilities([0.5, 1.2])
+
+    @pytest.mark.parametrize("estimator", ALL_APPROXIMATIONS, ids=lambda e: e.name)
+    def test_invalid_theta_rejected(self, estimator):
+        with pytest.raises(InvalidParameterError):
+            estimator.max_k(0.5, [0.5], -0.1)
+
+    @pytest.mark.parametrize("estimator", ALL_APPROXIMATIONS, ids=lambda e: e.name)
+    def test_max_k_returns_sentinel_below_threshold(self, estimator):
+        assert estimator.max_k(0.01, [0.9, 0.9], 0.5) == NO_VALID_K
+
+    def test_empty_profile_tail(self):
+        for estimator in ALL_APPROXIMATIONS:
+            assert estimator.tail_probabilities([]) == pytest.approx([1.0])
+
+
+class TestApproximationAccuracy:
+    def test_poisson_close_to_exact_for_small_probabilities(self):
+        probabilities = [0.03] * 40
+        exact = DynamicProgrammingEstimator().tail_probabilities(probabilities)
+        poisson = PoissonEstimator().tail_probabilities(probabilities)
+        bound = le_cam_error_bound(probabilities)
+        for e, a in zip(exact, poisson):
+            assert abs(e - a) <= bound + 1e-9
+
+    def test_translated_poisson_beats_poisson_for_large_probabilities(self):
+        probabilities = [0.7] * 30
+        exact = DynamicProgrammingEstimator().tail_probabilities(probabilities)
+        poisson = PoissonEstimator().tail_probabilities(probabilities)
+        translated = TranslatedPoissonEstimator().tail_probabilities(probabilities)
+        poisson_error = max(abs(e - a) for e, a in zip(exact, poisson))
+        translated_error = max(abs(e - a) for e, a in zip(exact, translated))
+        assert translated_error < poisson_error
+
+    def test_clt_accurate_for_many_cliques(self):
+        probabilities = [0.5] * 300
+        exact = DynamicProgrammingEstimator().tail_probabilities(probabilities)
+        normal = NormalEstimator().tail_probabilities(probabilities)
+        error = max(abs(e - a) for e, a in zip(exact, normal))
+        assert error < 0.05
+
+    def test_binomial_exact_for_identical_probabilities(self):
+        probabilities = [0.4] * 25
+        exact = DynamicProgrammingEstimator().tail_probabilities(probabilities)
+        binomial = BinomialEstimator().tail_probabilities(probabilities)
+        for e, a in zip(exact, binomial):
+            assert e == pytest.approx(a, abs=1e-9)
+
+    def test_normal_degenerate_variance(self):
+        tails = NormalEstimator().tail_probabilities([1.0, 1.0, 1.0])
+        assert tails == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_binomial_degenerate_profiles(self):
+        assert BinomialEstimator().tail_probabilities([1.0, 1.0]) == pytest.approx(
+            [1.0, 1.0, 1.0]
+        )
+
+    @given(
+        probabilities=st.lists(st.floats(0.01, 0.99), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_approximate_max_k_close_to_exact(self, probabilities):
+        """Every approximation's kappa stays within 2 of the exact kappa on random profiles."""
+        theta = 0.3
+        exact = DynamicProgrammingEstimator().max_k(1.0, probabilities, theta)
+        for estimator in ALL_APPROXIMATIONS:
+            approx = estimator.max_k(1.0, probabilities, theta)
+            if estimator.name == "clt" and len(probabilities) < 20:
+                continue  # the CLT is only claimed to work for large c
+            assert abs(approx - exact) <= 2
+
+
+class TestHybridSelector:
+    def test_default_parameters_match_paper(self):
+        params = HybridParameters()
+        assert params.clt_min_cliques == 200
+        assert params.poisson_max_cliques == 100
+        assert params.poisson_max_probability == 0.25
+        assert params.binomial_min_variance_ratio == 0.9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HybridEstimator(HybridParameters(clt_min_cliques=0))
+        with pytest.raises(InvalidParameterError):
+            HybridEstimator(HybridParameters(poisson_max_probability=0.0))
+        with pytest.raises(InvalidParameterError):
+            HybridEstimator(HybridParameters(binomial_min_variance_ratio=1.5))
+
+    def test_rule1_clt_for_many_cliques(self):
+        hybrid = HybridEstimator()
+        assert hybrid.select([0.5] * 250).name == "clt"
+
+    def test_rule2_poisson_for_few_small_probabilities(self):
+        hybrid = HybridEstimator()
+        assert hybrid.select([0.05] * 20).name == "poisson"
+
+    def test_rule3_translated_poisson_for_large_sum_of_squares(self):
+        hybrid = HybridEstimator()
+        # probabilities above C with sum of squares > 1
+        assert hybrid.select([0.9, 0.9, 0.9]).name == "translated_poisson"
+
+    def test_rule4_binomial_for_similar_probabilities(self):
+        hybrid = HybridEstimator()
+        # two similar probabilities: sum of squares < 1, variance ratio ~ 1
+        assert hybrid.select([0.55, 0.6]).name == "binomial"
+
+    def test_rule5_dp_fallback(self):
+        hybrid = HybridEstimator(HybridParameters(binomial_min_variance_ratio=0.999))
+        # dissimilar probabilities with sum of squares < 1: falls through to DP
+        assert hybrid.select([0.9, 0.05]).name == "dp"
+
+    def test_selection_counts_accumulate_and_reset(self):
+        hybrid = HybridEstimator()
+        hybrid.max_k(1.0, [0.05] * 20, 0.3)
+        hybrid.tail_probabilities([0.9, 0.9, 0.9])
+        assert hybrid.selection_counts["poisson"] == 1
+        assert hybrid.selection_counts["translated_poisson"] == 1
+        hybrid.reset_counts()
+        assert not hybrid.selection_counts
+
+    def test_empty_profile_selects_poisson_branch(self):
+        hybrid = HybridEstimator()
+        assert hybrid.max_k(1.0, [], 0.5) == 0
+
+    @given(probabilities=st.lists(st.floats(0.01, 0.99), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_close_to_exact(self, probabilities):
+        theta = 0.2
+        exact = DynamicProgrammingEstimator().max_k(1.0, probabilities, theta)
+        hybrid = HybridEstimator().max_k(1.0, probabilities, theta)
+        assert abs(hybrid - exact) <= 2

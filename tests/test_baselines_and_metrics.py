@@ -1,0 +1,218 @@
+"""Tests for the probabilistic core/truss baselines and the quality metrics."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.probabilistic_core import (
+    eta_degrees,
+    k_eta_core_subgraph,
+    max_core_score,
+    probabilistic_core_decomposition,
+)
+from repro.baselines.probabilistic_truss import (
+    edge_triangle_probabilities,
+    k_gamma_truss_subgraph,
+    max_truss_score,
+    probabilistic_truss_decomposition,
+)
+from repro.core.support_dp import NO_VALID_K
+from repro.deterministic.kcore import core_decomposition
+from repro.deterministic.ktruss import truss_decomposition
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import clique_graph, erdos_renyi_graph
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.metrics.clustering import (
+    expected_triangle_count,
+    expected_wedge_count,
+    probabilistic_clustering_coefficient,
+)
+from repro.metrics.cohesiveness import average_cohesiveness, cohesiveness_report
+from repro.metrics.density import expected_average_degree, probabilistic_density
+
+
+class TestEtaDegrees:
+    def test_certain_graph_matches_deterministic_degrees(self, five_clique_graph):
+        degrees = eta_degrees(five_clique_graph, eta=0.9)
+        assert all(d == 4 for d in degrees.values())
+
+    def test_uncertain_star(self):
+        graph = ProbabilisticGraph([(0, i, 0.5) for i in range(1, 5)])
+        degrees = eta_degrees(graph, eta=0.5)
+        # Pr(deg(0) >= 2) = 0.6875 >= 0.5 but Pr(deg >= 3) = 0.3125 < 0.5
+        assert degrees[0] == 2
+        assert all(degrees[i] == 1 for i in range(1, 5))
+
+    def test_invalid_eta(self, five_clique_graph):
+        with pytest.raises(InvalidParameterError):
+            eta_degrees(five_clique_graph, eta=1.2)
+
+
+class TestProbabilisticCore:
+    def test_certain_graph_matches_deterministic_core(self, planted_graph):
+        certain = ProbabilisticGraph.from_deterministic(
+            (u, v) for u, v, _ in planted_graph.edges()
+        )
+        probabilistic = probabilistic_core_decomposition(certain, eta=0.99)
+        deterministic = core_decomposition(certain)
+        assert probabilistic == deterministic
+
+    def test_scores_decrease_with_eta(self, planted_graph):
+        low = probabilistic_core_decomposition(planted_graph, eta=0.1)
+        high = probabilistic_core_decomposition(planted_graph, eta=0.9)
+        for v in low:
+            assert high[v] <= low[v]
+
+    def test_k_eta_core_subgraph(self, planted_graph):
+        eta = 0.3
+        core = probabilistic_core_decomposition(planted_graph, eta)
+        top = max(core.values())
+        subgraph = k_eta_core_subgraph(planted_graph, top, eta, core)
+        assert subgraph.num_vertices == sum(1 for s in core.values() if s >= top)
+        assert max_core_score(planted_graph, eta) == top
+
+    def test_invalid_parameters(self, planted_graph):
+        with pytest.raises(InvalidParameterError):
+            probabilistic_core_decomposition(planted_graph, eta=-0.1)
+        with pytest.raises(InvalidParameterError):
+            k_eta_core_subgraph(planted_graph, -1, 0.5)
+
+    def test_empty_graph(self, empty_graph):
+        assert probabilistic_core_decomposition(empty_graph, 0.5) == {}
+        assert max_core_score(empty_graph, 0.5) == 0
+
+
+class TestProbabilisticTruss:
+    def test_edge_triangle_probabilities(self, four_clique_graph):
+        edge_probability, wedges = edge_triangle_probabilities(four_clique_graph, 0, 1)
+        assert edge_probability == pytest.approx(0.9)
+        assert sorted(wedges) == pytest.approx([0.81, 0.81])
+
+    def test_certain_graph_matches_deterministic_truss(self, planted_graph):
+        certain = ProbabilisticGraph.from_deterministic(
+            (u, v) for u, v, _ in planted_graph.edges()
+        )
+        probabilistic = probabilistic_truss_decomposition(certain, gamma=0.99)
+        deterministic = truss_decomposition(certain)
+        assert probabilistic == deterministic
+
+    def test_low_probability_edges_get_sentinel(self):
+        graph = clique_graph(4, probability=0.3)
+        truss = probabilistic_truss_decomposition(graph, gamma=0.9)
+        assert set(truss.values()) == {NO_VALID_K}
+        assert max_truss_score(graph, 0.9) == NO_VALID_K
+
+    def test_scores_decrease_with_gamma(self, planted_graph):
+        low = probabilistic_truss_decomposition(planted_graph, gamma=0.1)
+        high = probabilistic_truss_decomposition(planted_graph, gamma=0.9)
+        for edge in low:
+            assert high[edge] <= low[edge]
+
+    def test_k_gamma_truss_subgraph(self, planted_graph):
+        gamma = 0.3
+        truss = probabilistic_truss_decomposition(planted_graph, gamma)
+        top = max(truss.values())
+        subgraph = k_gamma_truss_subgraph(planted_graph, top, gamma, truss)
+        assert subgraph.num_edges == sum(1 for s in truss.values() if s >= top)
+
+    def test_invalid_parameters(self, planted_graph):
+        with pytest.raises(InvalidParameterError):
+            probabilistic_truss_decomposition(planted_graph, gamma=1.1)
+        with pytest.raises(InvalidParameterError):
+            k_gamma_truss_subgraph(planted_graph, -1, 0.5)
+
+
+class TestContainmentAcrossDecompositions:
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_nucleus_vertices_inside_truss_and_core(self, seed):
+        """The paper's motivation: nucleus ⊆ truss ⊆ core at matched thresholds."""
+        from repro.core.local import local_nucleus_decomposition
+
+        graph = erdos_renyi_graph(13, 0.55, seed=seed)
+        theta = 0.2
+        local = local_nucleus_decomposition(graph, theta)
+        if local.max_score < 1:
+            return
+        truss = probabilistic_truss_decomposition(graph, theta)
+        core = probabilistic_core_decomposition(graph, theta)
+        for nucleus in local.nuclei(1):
+            for u, v, _ in nucleus.subgraph.edges():
+                edge = (u, v) if (u, v) in truss else (v, u)
+                assert truss[edge] >= 1
+            for vertex in nucleus.subgraph.vertices():
+                assert core[vertex] >= 1
+
+
+class TestDensity:
+    def test_complete_certain_graph_has_density_one(self, five_clique_graph):
+        assert probabilistic_density(five_clique_graph) == pytest.approx(1.0)
+
+    def test_density_scales_with_probability(self):
+        graph = clique_graph(5, probability=0.5)
+        assert probabilistic_density(graph) == pytest.approx(0.5)
+
+    def test_small_graphs(self, empty_graph, single_edge_graph):
+        assert probabilistic_density(empty_graph) == 0.0
+        assert probabilistic_density(single_edge_graph) == pytest.approx(0.5)
+
+    def test_expected_average_degree(self, triangle_graph, empty_graph):
+        assert expected_average_degree(triangle_graph) == pytest.approx(2 * 2.4 / 3)
+        assert expected_average_degree(empty_graph) == 0.0
+
+
+class TestClustering:
+    def test_certain_clique_has_pcc_one(self, five_clique_graph):
+        assert probabilistic_clustering_coefficient(five_clique_graph) == pytest.approx(1.0)
+
+    def test_wedge_and_triangle_counts(self, triangle_graph):
+        assert expected_triangle_count(triangle_graph) == pytest.approx(0.9 * 0.8 * 0.7)
+        expected_wedges = 0.9 * 0.7 + 0.9 * 0.8 + 0.8 * 0.7
+        assert expected_wedge_count(triangle_graph) == pytest.approx(expected_wedges)
+
+    def test_triangle_pcc_closed_form(self, triangle_graph):
+        triangles = 0.9 * 0.8 * 0.7
+        wedges = 0.9 * 0.7 + 0.9 * 0.8 + 0.8 * 0.7
+        assert probabilistic_clustering_coefficient(triangle_graph) == pytest.approx(
+            3 * triangles / wedges
+        )
+
+    def test_wedge_only_graph_has_pcc_zero(self):
+        graph = ProbabilisticGraph([(0, 1, 0.9), (1, 2, 0.9)])
+        assert probabilistic_clustering_coefficient(graph) == 0.0
+
+    def test_edgeless_graph_has_pcc_zero(self, empty_graph):
+        assert probabilistic_clustering_coefficient(empty_graph) == 0.0
+
+    @given(p=st.floats(0.05, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_clique_pcc_equals_p(self, p):
+        """For a clique with uniform probability p, PCC = p (numerator p^3, wedges p^2)."""
+        graph = clique_graph(6, probability=p)
+        assert probabilistic_clustering_coefficient(graph) == pytest.approx(p)
+
+
+class TestCohesivenessReports:
+    def test_report_fields(self, five_clique_graph):
+        report = cohesiveness_report(five_clique_graph, label="clique", max_score=2)
+        assert report.label == "clique"
+        assert report.num_vertices == 5
+        assert report.num_edges == 10
+        assert report.max_score == 2
+        assert report.probabilistic_density == pytest.approx(1.0)
+        assert report.as_row()[0] == "clique"
+
+    def test_average_over_components(self, five_clique_graph, four_clique_graph):
+        average = average_cohesiveness([five_clique_graph, four_clique_graph], label="avg")
+        assert average.num_vertices == round((5 + 4) / 2)
+        assert 0.9 <= average.probabilistic_density <= 1.0
+
+    def test_average_of_nothing(self):
+        report = average_cohesiveness([], label="none", max_score=3)
+        assert report.num_vertices == 0
+        assert report.probabilistic_density == 0.0
+        assert report.max_score == 3

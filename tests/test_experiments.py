@@ -1,0 +1,198 @@
+"""Tests for the dataset registry and the experiment harness (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import datasets
+from repro.experiments.ablation_hybrid import format_ablation_hybrid, run_ablation_hybrid
+from repro.experiments.ablation_sampling import format_ablation_sampling, run_ablation_sampling
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure6 import (
+    format_figure6,
+    relative_support_error,
+    run_figure6a,
+    run_figure6b,
+    run_figure6c,
+)
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import compare_scores, format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.core.approximations import BinomialEstimator
+
+
+class TestDatasetRegistry:
+    def test_all_names_at_tiny_scale(self):
+        graphs = datasets.load_all("tiny")
+        assert set(graphs) == set(datasets.DATASET_NAMES)
+        for graph in graphs.values():
+            assert graph.num_vertices > 0
+            assert graph.num_edges > 0
+
+    def test_datasets_are_reproducible(self):
+        assert datasets.load_dataset("krogan", "tiny") == datasets.load_dataset("krogan", "tiny")
+
+    def test_unknown_dataset_or_scale(self):
+        with pytest.raises(InvalidParameterError):
+            datasets.load_dataset("unknown")
+        with pytest.raises(InvalidParameterError):
+            datasets.load_dataset("krogan", "huge")
+
+    def test_spec_metadata(self):
+        spec = datasets.dataset_spec("flickr", "tiny")
+        assert spec.name == "flickr"
+        assert spec.scale == "tiny"
+        assert "flickr" in spec.paper_reference
+
+    def test_scales_differ_in_size(self):
+        tiny = datasets.load_dataset("dblp", "tiny")
+        small = datasets.load_dataset("dblp", "small")
+        assert small.num_edges > tiny.num_edges
+
+
+class TestTable1:
+    def test_rows_and_formatting(self):
+        rows = run_table1(names=("krogan", "dblp"), scale="tiny")
+        assert [row.name for row in rows] == ["krogan", "dblp"]
+        table = format_table1(rows)
+        assert "krogan" in table and "p_avg" in table
+
+
+class TestTable2:
+    def test_compare_scores_on_tiny_dataset(self):
+        graph = datasets.load_dataset("krogan", "tiny")
+        total, average_error, percent = compare_scores(graph, theta=0.2)
+        assert total > 0
+        assert 0.0 <= average_error <= 1.0
+        assert 0.0 <= percent <= 100.0
+
+    def test_rows_and_formatting(self):
+        rows = run_table2(names=("krogan",), thetas=(0.3,), scale="tiny")
+        assert len(rows) == 1
+        assert rows[0].dataset == "krogan"
+        assert "avg error" in format_table2(rows)
+
+
+class TestTable3:
+    def test_nucleus_beats_truss_and_core_on_quality(self):
+        rows = run_table3(names=("flickr",), thetas=(0.1,), scale="tiny")
+        row = rows[0]
+        assert row.nucleus.probabilistic_density >= row.core.probabilistic_density
+        assert row.nucleus.num_vertices <= row.core.num_vertices
+        assert "PD N/T/C" in format_table3(rows)
+
+
+class TestFigure4:
+    def test_runtime_rows(self):
+        rows = run_figure4(names=("krogan",), thetas=(0.2, 0.4), scale="tiny")
+        assert len(rows) == 2
+        for row in rows:
+            assert row.dp_seconds > 0 and row.ap_seconds > 0
+            assert row.dp_max_score >= row.ap_max_score - 1
+            assert row.speedup > 0
+        assert "DP (s)" in format_figure4(rows)
+
+
+class TestFigure5:
+    def test_fg_and_wg_rows(self):
+        rows = run_figure5(names=("krogan",), theta=0.01, n_samples=30, scale="tiny", seed=0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.fg_seconds >= 0 and row.wg_seconds >= 0
+        assert row.k >= 1
+        assert "FG (s)" in format_figure5(rows)
+
+
+class TestFigure6:
+    def test_relative_error_zero_for_exact_estimator(self):
+        from repro.core.approximations import DynamicProgrammingEstimator
+
+        assert relative_support_error(
+            DynamicProgrammingEstimator(), [0.5, 0.5, 0.5], theta=0.3
+        ) == 0.0
+
+    def test_panel_a_poisson_beats_clt_for_small_probabilities(self):
+        rows = run_figure6a(c_deltas=(25,), num_profiles=50, seed=0)
+        by_name = {row.estimator: row.average_relative_error for row in rows}
+        assert by_name["poisson"] <= by_name["clt"]
+
+    def test_panel_b_translated_poisson_is_robust(self):
+        rows = run_figure6b(probability_ranges=(0.1, 1.0), num_profiles=50, seed=1)
+        poisson_large = next(
+            r for r in rows if r.estimator == "poisson" and "1.0" in r.condition
+        )
+        translated_large = next(
+            r
+            for r in rows
+            if r.estimator == "translated_poisson" and "1.0" in r.condition
+        )
+        assert translated_large.average_relative_error <= poisson_large.average_relative_error
+
+    def test_panel_c_binomial_error_is_small(self):
+        rows = run_figure6c(c_deltas=(25,), num_profiles=50, seed=2)
+        assert rows[0].average_relative_error < 0.05
+
+    def test_formatting(self):
+        rows = run_figure6a(c_deltas=(25,), num_profiles=10, seed=0)
+        assert "avg rel error" in format_figure6(rows)
+
+
+class TestFigure7:
+    def test_series_on_tiny_flickr(self):
+        rows = run_figure7(dataset="flickr", theta=0.3, scale="tiny")
+        assert rows, "the tiny flickr analogue should have at least one nucleus level"
+        for row in rows:
+            assert 0.0 <= row.average_density <= 1.0
+            assert 0.0 <= row.average_clustering <= 1.0
+        # the number of nuclei never increases with k
+        counts = [row.num_nuclei for row in rows]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert "avg PD" in format_figure7(rows)
+
+
+class TestFigure8:
+    def test_modes_reported_for_each_dataset(self):
+        rows = run_figure8(names=("krogan",), theta=0.01, n_samples=20, scale="tiny", seed=0)
+        assert {row.mode for row in rows} == {"global", "weakly-global", "local"}
+        assert all(0.0 <= row.average_density <= 1.0 for row in rows)
+        assert "avg PCC" in format_figure8(rows)
+
+
+class TestAblations:
+    def test_hybrid_ablation_rows(self):
+        graph = datasets.load_dataset("krogan", "tiny")
+        rows = run_ablation_hybrid(graph=graph, theta=0.2, estimators=[BinomialEstimator()])
+        names = [row.estimator for row in rows]
+        assert names == ["binomial"]
+        assert rows[0].average_error >= 0.0
+        assert "estimator" in format_ablation_hybrid(rows)
+
+    def test_sampling_ablation_respects_hoeffding(self):
+        rows = run_ablation_sampling(sample_sizes=(50, 200), seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.max_observed_error <= 3 * row.hoeffding_epsilon
+        assert "Hoeffding" in format_ablation_sampling(rows)
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        assert {
+            "table1", "table2", "table3", "figure4", "figure5",
+            "figure6", "figure7", "figure8", "ablation_hybrid", "ablation_sampling",
+        } == set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_main_runs_a_cheap_experiment(self, capsys):
+        exit_code = main(["ablation_sampling"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ablation_sampling" in captured.out

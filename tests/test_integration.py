@@ -1,0 +1,119 @@
+"""End-to-end integration tests: full pipelines across modules, and the example scripts."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    HybridEstimator,
+    ProbabilisticGraph,
+    global_nucleus_decomposition,
+    graph_statistics,
+    local_nucleus_decomposition,
+    probabilistic_clustering_coefficient,
+    probabilistic_core_decomposition,
+    probabilistic_density,
+    probabilistic_truss_decomposition,
+    read_edge_list,
+    weak_nucleus_decomposition,
+    write_edge_list,
+)
+from repro.baselines import k_eta_core_subgraph, k_gamma_truss_subgraph
+from repro.experiments.datasets import load_dataset
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestFullPipeline:
+    """Generate → persist → reload → decompose → compare → report, in one flow."""
+
+    def test_end_to_end_on_krogan_analogue(self, tmp_path):
+        graph = load_dataset("krogan", "tiny")
+
+        # persist and reload through the edge-list format (isolated vertices are
+        # not representable in an edge list, so compare the edge sets)
+        path = tmp_path / "krogan.edges"
+        write_edge_list(graph, path)
+        reloaded = read_edge_list(path)
+        assert sorted(reloaded.edges()) == sorted(graph.edges())
+
+        # dataset statistics
+        stats = graph_statistics(reloaded, "krogan-tiny")
+        assert stats.num_edges == graph.num_edges
+        assert stats.num_triangles > 0
+
+        # local decomposition, exact and approximate
+        theta = 0.1
+        exact = local_nucleus_decomposition(reloaded, theta)
+        approximate = local_nucleus_decomposition(
+            reloaded, theta, estimator=HybridEstimator()
+        )
+        assert exact.max_score >= 1
+        differing = sum(
+            1 for t in exact.scores if exact.scores[t] != approximate.scores[t]
+        )
+        assert differing / len(exact.scores) < 0.3
+
+        # the top nucleus beats the top core subgraph on density and clustering
+        top_nuclei = exact.nuclei(exact.max_score)
+        assert top_nuclei
+        core = probabilistic_core_decomposition(reloaded, eta=theta)
+        core_subgraph = k_eta_core_subgraph(reloaded, max(core.values()), theta, core)
+        truss = probabilistic_truss_decomposition(reloaded, gamma=theta)
+        truss_subgraph = k_gamma_truss_subgraph(reloaded, max(truss.values()), theta, truss)
+        nucleus_density = max(probabilistic_density(n.subgraph) for n in top_nuclei)
+        assert nucleus_density >= probabilistic_density(core_subgraph) - 1e-9
+        assert nucleus_density >= probabilistic_density(truss_subgraph) - 0.1
+
+        # global and weakly-global refinements run on top of the local result
+        global_nuclei = global_nucleus_decomposition(
+            reloaded, k=1, theta=0.01, n_samples=40, local_result=None, seed=0
+        )
+        weak_nuclei = weak_nucleus_decomposition(
+            reloaded, k=1, theta=0.01, n_samples=40, seed=0
+        )
+        for nucleus in global_nuclei + weak_nuclei:
+            assert nucleus.num_edges >= 6
+            assert 0.0 <= probabilistic_clustering_coefficient(nucleus.subgraph) <= 1.0
+
+    def test_three_models_agree_on_a_certain_clique(self):
+        """On a deterministic 6-clique all three decompositions find the same subgraph."""
+        graph = ProbabilisticGraph()
+        import itertools
+
+        for u, v in itertools.combinations(range(6), 2):
+            graph.add_edge(u, v, 1.0)
+        theta, k = 0.9, 3
+        local = local_nucleus_decomposition(graph, theta)
+        assert local.max_score == 3
+        weak = weak_nucleus_decomposition(graph, k, theta, n_samples=25, seed=1)
+        global_ = global_nucleus_decomposition(graph, k, theta, n_samples=25, seed=1)
+        for nuclei in (local.nuclei(k), weak, global_):
+            assert len(nuclei) == 1
+            assert set(nuclei[0].subgraph.vertices()) == set(range(6))
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "protein_interaction_analysis.py",
+        "collaboration_communities.py",
+        "compare_decompositions.py",
+    ],
+)
+def test_example_scripts_run_cleanly(script):
+    """Every example script runs end-to-end and prints something sensible."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    assert len(result.stdout.splitlines()) > 5

@@ -1,0 +1,235 @@
+"""Tests for edge-list I/O, synthetic generators, and dataset statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphFormatError, InvalidParameterError
+from repro.graph.generators import (
+    GeneratorSpec,
+    assign_jaccard_probabilities,
+    beta_probability,
+    clique_graph,
+    collaboration_probability,
+    complete_probabilistic_graph,
+    confidence_probability,
+    erdos_renyi_graph,
+    overlapping_community_graph,
+    planted_nucleus_graph,
+    power_law_cluster_graph,
+    uniform_probability,
+)
+from repro.graph.io import (
+    attach_probabilities,
+    attach_uniform_probabilities,
+    parse_edge_line,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.graph.statistics import format_statistics_table, graph_statistics
+
+
+class TestEdgeListParsing:
+    def test_three_column_line(self):
+        assert parse_edge_line("1 2 0.5") == (1, 2, 0.5)
+
+    def test_two_column_line_defaults_to_certain(self):
+        assert parse_edge_line("3 4") == (3, 4, 1.0)
+
+    def test_string_vertices(self):
+        assert parse_edge_line("alice bob 0.25") == ("alice", "bob", 0.25)
+
+    def test_comments_and_blanks_are_skipped(self):
+        assert parse_edge_line("# a comment") is None
+        assert parse_edge_line("% another") is None
+        assert parse_edge_line("   ") is None
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(GraphFormatError):
+            parse_edge_line("1 2 3 4", line_number=7)
+        with pytest.raises(GraphFormatError):
+            parse_edge_line("1 2 not-a-number")
+
+
+class TestReadWrite:
+    def test_round_trip(self, tmp_path, paper_figure1_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(paper_figure1_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == paper_figure1_graph
+
+    def test_write_without_probabilities(self, tmp_path, triangle_graph):
+        path = tmp_path / "plain.txt"
+        write_edge_list(triangle_graph, path, include_probabilities=False)
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == 3
+        assert all(p == 1.0 for _, _, p in loaded.edges())
+
+    def test_self_loops_skipped_by_default(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("1 1 0.5\n1 2 0.5\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_self_loops_rejected_when_strict(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("1 1 0.5\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path, skip_self_loops=False)
+
+    def test_attach_uniform_probabilities(self, triangle_graph):
+        reassigned = attach_uniform_probabilities(triangle_graph, seed=1)
+        assert reassigned.num_edges == triangle_graph.num_edges
+        assert all(0.0 < p <= 1.0 for _, _, p in reassigned.edges())
+
+    def test_attach_probabilities_callable(self, triangle_graph):
+        reassigned = attach_probabilities(triangle_graph, lambda u, v: 0.42)
+        assert all(p == 0.42 for _, _, p in reassigned.edges())
+
+
+class TestProbabilityModels:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            uniform_probability(),
+            beta_probability(),
+            collaboration_probability(),
+            confidence_probability(),
+        ],
+    )
+    def test_models_stay_in_unit_interval(self, model):
+        import random
+
+        rng = random.Random(0)
+        values = [model(rng) for _ in range(500)]
+        assert all(0.0 < value <= 1.0 for value in values)
+
+    def test_confidence_mode_controls_mean(self):
+        import random
+
+        rng = random.Random(0)
+        high = confidence_probability(mode=0.9, concentration=20)
+        low = confidence_probability(mode=0.2, concentration=20)
+        high_mean = sum(high(rng) for _ in range(300)) / 300
+        low_mean = sum(low(rng) for _ in range(300)) / 300
+        assert high_mean > low_mean
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_probability(0.9, 0.5)
+        with pytest.raises(InvalidParameterError):
+            beta_probability(alpha=0)
+        with pytest.raises(InvalidParameterError):
+            collaboration_probability(mean_collaborations=-1)
+        with pytest.raises(InvalidParameterError):
+            confidence_probability(mode=1.5)
+
+
+class TestGenerators:
+    def test_clique_graph(self):
+        graph = clique_graph(5, probability=0.7)
+        assert graph.num_vertices == 5 and graph.num_edges == 10
+        with pytest.raises(InvalidParameterError):
+            clique_graph(0)
+        with pytest.raises(InvalidParameterError):
+            clique_graph(3, vertices=[1, 2])
+
+    def test_complete_probabilistic_graph(self):
+        graph = complete_probabilistic_graph(6, uniform_probability(), seed=0)
+        assert graph.num_edges == 15
+
+    def test_erdos_renyi_reproducible(self):
+        first = erdos_renyi_graph(20, 0.3, seed=5)
+        second = erdos_renyi_graph(20, 0.3, seed=5)
+        assert first == second
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(-1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_power_law_cluster_graph(self):
+        graph = power_law_cluster_graph(60, attachment=3, seed=2)
+        assert graph.num_vertices == 60
+        assert graph.num_edges >= 3 * 57
+        with pytest.raises(InvalidParameterError):
+            power_law_cluster_graph(3, attachment=5)
+
+    def test_planted_nucleus_graph_structure(self):
+        graph = planted_nucleus_graph(
+            num_communities=2, community_size=5, intra_density=1.0,
+            background_vertices=10, background_density=0.0,
+            bridges_per_community=1, seed=0,
+        )
+        assert graph.num_vertices == 2 * 5 + 10
+        # the two planted 5-cliques contribute 2 * 10 intra edges + 2 bridges
+        assert graph.num_edges == 22
+
+    def test_planted_nucleus_graph_custom_sizes(self):
+        graph = planted_nucleus_graph(
+            community_sizes=[6, 4], intra_density=1.0,
+            background_vertices=0, bridges_per_community=0, seed=0,
+        )
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 15 + 6
+
+    def test_planted_nucleus_graph_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            planted_nucleus_graph(num_communities=0)
+        with pytest.raises(InvalidParameterError):
+            planted_nucleus_graph(community_sizes=[3])
+
+    def test_overlapping_community_graph(self):
+        graph = overlapping_community_graph(
+            num_communities=3, community_size=6, overlap=2, intra_density=1.0, seed=0
+        )
+        assert graph.num_vertices == 6 + 2 * 4
+        with pytest.raises(InvalidParameterError):
+            overlapping_community_graph(overlap=10, community_size=5)
+
+    def test_assign_jaccard_probabilities(self):
+        graph = clique_graph(5, probability=0.1)
+        graph.add_edge(0, 99, 0.1)  # a pendant edge has Jaccard 0
+        reassigned = assign_jaccard_probabilities(graph, floor=0.05)
+        # clique edges share 3 of 4+ neighbors -> high probability
+        assert reassigned.edge_probability(0, 1) > 0.5
+        assert reassigned.edge_probability(0, 99) == 0.05
+        with pytest.raises(InvalidParameterError):
+            assign_jaccard_probabilities(graph, floor=0.0)
+
+    def test_generator_spec_build_and_seed_override(self):
+        spec = GeneratorSpec(
+            name="er", generator=erdos_renyi_graph,
+            parameters={"num_vertices": 15, "edge_fraction": 0.4, "seed": 1},
+        )
+        default = spec.build()
+        overridden = spec.build(seed=2)
+        assert default == spec.build()
+        assert default != overridden
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_generators_are_deterministic_given_seed(self, seed):
+        assert planted_nucleus_graph(seed=seed) == planted_nucleus_graph(seed=seed)
+
+
+class TestStatistics:
+    def test_graph_statistics_fields(self, paper_figure1_graph):
+        stats = graph_statistics(paper_figure1_graph, name="figure1")
+        assert stats.name == "figure1"
+        assert stats.num_vertices == 7
+        assert stats.num_edges == 12
+        assert stats.max_degree == paper_figure1_graph.max_degree()
+        assert stats.num_triangles == 8
+        assert 0.0 < stats.average_probability <= 1.0
+
+    def test_statistics_table_formatting(self, triangle_graph, four_clique_graph):
+        rows = [
+            graph_statistics(triangle_graph, "triangle"),
+            graph_statistics(four_clique_graph, "clique4"),
+        ]
+        table = format_statistics_table(rows)
+        assert "triangle" in table and "clique4" in table
+        assert len(table.splitlines()) == 4

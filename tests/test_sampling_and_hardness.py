@@ -1,0 +1,230 @@
+"""Tests for Monte-Carlo machinery, network reliability, and the hardness reductions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deterministic.connectivity import is_connected
+from repro.exceptions import InvalidParameterError, VertexNotFoundError
+from repro.graph.generators import clique_graph
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.hardness.reductions import (
+    global_indicator_probability,
+    reduce_clique_to_weak_nucleus,
+    reduce_reliability_to_global_nucleus,
+    weak_indicator_probability,
+)
+from repro.sampling.monte_carlo import (
+    estimate_world_probability,
+    hoeffding_error_bound,
+    hoeffding_sample_size,
+)
+from repro.sampling.reliability import (
+    binary_search_reliability,
+    estimate_reliability,
+    exact_reliability,
+    reliability_decision,
+)
+
+
+class TestHoeffding:
+    def test_paper_setting(self):
+        """With epsilon = delta = 0.1 the bound gives 150 samples (paper rounds to 200)."""
+        assert hoeffding_sample_size(0.1, 0.1) == 150
+
+    def test_sample_size_monotone_in_epsilon(self):
+        assert hoeffding_sample_size(0.05, 0.1) > hoeffding_sample_size(0.1, 0.1)
+
+    def test_error_bound_is_inverse_of_sample_size(self):
+        n = hoeffding_sample_size(0.1, 0.1)
+        assert hoeffding_error_bound(n, 0.1) <= 0.1 + 1e-9
+
+    @pytest.mark.parametrize("epsilon,delta", [(0.0, 0.1), (0.1, 0.0), (1.5, 0.1), (0.1, 2.0)])
+    def test_invalid_parameters(self, epsilon, delta):
+        with pytest.raises(InvalidParameterError):
+            hoeffding_sample_size(epsilon, delta)
+
+    def test_error_bound_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            hoeffding_error_bound(0, 0.1)
+
+
+class TestEstimateWorldProbability:
+    def test_certain_predicate(self, four_clique_graph):
+        estimate = estimate_world_probability(
+            four_clique_graph, lambda world: True, n_samples=10, seed=0
+        )
+        assert float(estimate) == 1.0
+        assert estimate.n_samples == 10
+
+    def test_estimate_close_to_exact(self):
+        graph = ProbabilisticGraph([(0, 1, 0.7), (1, 2, 0.7), (0, 2, 0.7)])
+        estimate = estimate_world_probability(
+            graph, is_connected, n_samples=3000, seed=1
+        )
+        exact = exact_reliability(graph)
+        assert abs(float(estimate) - exact) < 0.05
+
+    def test_reuses_provided_worlds(self, four_clique_graph):
+        worlds = [four_clique_graph.copy() for _ in range(4)]
+        estimate = estimate_world_probability(four_clique_graph, lambda w: True, worlds=worlds)
+        assert estimate.n_samples == 4
+        with pytest.raises(InvalidParameterError):
+            estimate_world_probability(four_clique_graph, lambda w: True, worlds=[])
+
+    def test_default_sample_size_comes_from_hoeffding(self, four_clique_graph):
+        estimate = estimate_world_probability(
+            four_clique_graph, lambda world: False, epsilon=0.2, delta=0.2, seed=2
+        )
+        assert estimate.n_samples == hoeffding_sample_size(0.2, 0.2)
+
+
+class TestReliability:
+    def test_single_certain_edge(self):
+        graph = ProbabilisticGraph([(0, 1, 1.0)])
+        assert exact_reliability(graph) == pytest.approx(1.0)
+
+    def test_single_uncertain_edge(self):
+        graph = ProbabilisticGraph([(0, 1, 0.3)])
+        assert exact_reliability(graph) == pytest.approx(0.3)
+
+    def test_triangle_reliability_closed_form(self):
+        """A triangle with edge probability p is connected iff at least two edges exist."""
+        p = 0.6
+        graph = ProbabilisticGraph([(0, 1, p), (1, 2, p), (0, 2, p)])
+        expected = p ** 3 + 3 * p * p * (1 - p)
+        assert exact_reliability(graph) == pytest.approx(expected)
+
+    def test_disconnected_graph_reliability_zero(self, disconnected_graph):
+        assert exact_reliability(disconnected_graph) == 0.0
+
+    def test_empty_graph(self, empty_graph):
+        assert exact_reliability(empty_graph) == 0.0
+
+    def test_estimate_close_to_exact(self):
+        p = 0.5
+        graph = ProbabilisticGraph([(0, 1, p), (1, 2, p), (0, 2, p)])
+        estimate = estimate_reliability(graph, n_samples=4000, seed=3)
+        assert abs(float(estimate) - exact_reliability(graph)) < 0.05
+
+    def test_decision_version(self):
+        graph = ProbabilisticGraph([(0, 1, 0.3)])
+        assert reliability_decision(graph, 0.2)
+        assert not reliability_decision(graph, 0.5)
+        with pytest.raises(InvalidParameterError):
+            reliability_decision(graph, 1.5)
+
+    def test_binary_search_recovers_reliability(self):
+        graph = ProbabilisticGraph([(0, 1, 0.3), (1, 2, 0.8), (0, 2, 0.5)])
+        exact = exact_reliability(graph)
+        recovered = binary_search_reliability(lambda theta: exact >= theta, precision=1e-9)
+        assert recovered == pytest.approx(exact, abs=1e-6)
+
+    def test_binary_search_invalid_precision(self):
+        with pytest.raises(InvalidParameterError):
+            binary_search_reliability(lambda theta: True, precision=0.0)
+
+
+class TestReliabilityReduction:
+    """Lemma 2: Pr(X_{F,tri,g} >= 0) equals the reliability of the original graph."""
+
+    def test_gadget_structure(self, triangle_graph):
+        reduction = reduce_reliability_to_global_nucleus(triangle_graph, anchor=0)
+        assert reduction.anchor == 0
+        u, w = reduction.dummies
+        assert reduction.graph.edge_probability(u, w) == 1.0
+        assert reduction.graph.edge_probability(u, 0) == 1.0
+        assert reduction.graph.num_edges == triangle_graph.num_edges + 3
+
+    def test_unknown_anchor_rejected(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            reduce_reliability_to_global_nucleus(triangle_graph, anchor=99)
+
+    def test_empty_graph_rejected(self, empty_graph):
+        with pytest.raises(InvalidParameterError):
+            reduce_reliability_to_global_nucleus(empty_graph)
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [(0, 1, 0.5)],
+            [(0, 1, 0.5), (1, 2, 0.7)],
+            [(0, 1, 0.5), (1, 2, 0.7), (0, 2, 0.9)],
+            [(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6), (0, 3, 0.6)],
+        ],
+    )
+    def test_correspondence_with_connectivity_indicator(self, edges):
+        """Using connectivity as the k=0 nucleus notion (as in the paper's Lemma 2 proof),
+        the indicator probability of the gadget triangle equals the reliability."""
+        graph = ProbabilisticGraph(edges)
+        reduction = reduce_reliability_to_global_nucleus(graph, anchor=0)
+        probability = global_indicator_probability(
+            reduction.graph,
+            reduction.triangle,
+            k=0,
+            nucleus_check=lambda world, _k: is_connected(world),
+        )
+        assert probability == pytest.approx(exact_reliability(graph), abs=1e-9)
+
+    def test_decision_reduction(self):
+        graph = ProbabilisticGraph([(0, 1, 0.5), (1, 2, 0.7), (0, 2, 0.9)])
+        reduction = reduce_reliability_to_global_nucleus(graph, anchor=0)
+        reliability = exact_reliability(graph)
+        probability = global_indicator_probability(
+            reduction.graph,
+            reduction.triangle,
+            k=0,
+            nucleus_check=lambda world, _k: is_connected(world),
+        )
+        for theta in (reliability - 0.05, reliability + 0.05):
+            assert (probability >= theta) == (reliability >= theta)
+
+
+class TestCliqueReduction:
+    """Theorem 4.2: G has a (k+3)-clique iff the reduced graph has a w-(k, θ)-nucleus."""
+
+    def test_parameters(self):
+        graph = clique_graph(4)
+        reduction = reduce_clique_to_weak_nucleus(graph, clique_size=4)
+        m = graph.num_edges
+        assert reduction.k == 1
+        assert reduction.edge_probability == pytest.approx(1.0 / 2 ** (2 * m + 1))
+        assert reduction.theta == pytest.approx(reduction.edge_probability ** 6)
+
+    def test_too_small_clique_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            reduce_clique_to_weak_nucleus(clique_graph(4), clique_size=3)
+
+    def test_positive_instance(self):
+        """A graph containing a 4-clique: some triangle reaches the weak threshold."""
+        graph = clique_graph(4)
+        graph.add_edge(0, 9, 1.0)
+        reduction = reduce_clique_to_weak_nucleus(graph, clique_size=4)
+        probability = weak_indicator_probability(reduction.graph, (0, 1, 2), reduction.k)
+        assert probability >= reduction.theta
+
+    def test_negative_instance(self):
+        """A triangle-free-of-4-cliques graph: no triangle reaches the weak threshold."""
+        graph = ProbabilisticGraph(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 1.0)]
+        )
+        reduction = reduce_clique_to_weak_nucleus(graph, clique_size=4)
+        for triangle in [(0, 1, 2), (2, 3, 4)]:
+            probability = weak_indicator_probability(reduction.graph, triangle, reduction.k)
+            assert probability < reduction.theta
+
+
+class TestMonteCarloProperties:
+    @given(p=st.floats(0.1, 0.9), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_reliability_estimate_within_hoeffding_band(self, p, seed):
+        graph = ProbabilisticGraph([(0, 1, p), (1, 2, p), (0, 2, p)])
+        n = 500
+        estimate = estimate_reliability(graph, n_samples=n, seed=seed)
+        # With delta = 0.001 the band is wide; violations would indicate bias.
+        epsilon = hoeffding_error_bound(n, 0.001)
+        assert abs(float(estimate) - exact_reliability(graph)) <= epsilon
