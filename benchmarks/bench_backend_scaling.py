@@ -1,0 +1,141 @@
+"""Benchmark: dict vs CSR backend of the local decomposition across generators.
+
+Runs :func:`repro.core.local.local_nucleus_decomposition` with
+``backend="dict"`` and ``backend="csr"`` on every synthetic dataset analogue
+plus a sweep of growing power-law instances, asserts the two backends return
+identical nucleus scores, and reports the wall-clock speedup of the CSR
+engine.  Usable both under the pytest-benchmark harness
+(``pytest benchmarks/bench_backend_scaling.py``) and standalone::
+
+    python benchmarks/bench_backend_scaling.py [--scale tiny|small] [--theta 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.core.local import local_nucleus_decomposition
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.local import local_nucleus_decomposition
+
+from repro.core.hybrid import HybridEstimator
+from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.graph.generators import power_law_cluster_graph
+
+#: Power-law scaling sweep: (label, num_vertices, attachment).
+SCALING_SWEEP = {
+    "tiny": [("powerlaw-150", 150, 4), ("powerlaw-400", 400, 4)],
+    "small": [
+        ("powerlaw-600", 600, 5),
+        ("powerlaw-1200", 1200, 5),
+        ("powerlaw-2400", 2400, 6),
+    ],
+}
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def compare_backends(graph, theta: float, estimator_factory=None):
+    """Run both backends on ``graph`` and return ``(dict_s, csr_s, triangles)``.
+
+    Raises ``AssertionError`` if the two backends disagree on any nucleus
+    score — the parity guarantee the benchmark rides on.
+    """
+    estimator_factory = estimator_factory or (lambda: None)
+    dict_result, dict_seconds = _timed(
+        local_nucleus_decomposition,
+        graph, theta, estimator=estimator_factory(), backend="dict",
+    )
+    csr_result, csr_seconds = _timed(
+        local_nucleus_decomposition,
+        graph, theta, estimator=estimator_factory(), backend="csr",
+    )
+    assert dict_result.scores == csr_result.scores, "backend results diverged"
+    return dict_seconds, csr_seconds, dict_result.num_triangles
+
+
+def run_backend_scaling(scale: str = "tiny", theta: float = 0.3):
+    """Return benchmark rows: (name, triangles, dict_s, csr_s, speedup)."""
+    workloads = [
+        (name, load_dataset(name, scale=scale)) for name in DATASET_NAMES
+    ]
+    workloads += [
+        (label, power_law_cluster_graph(n, attachment=a, triangle_probability=0.7,
+                                        seed=97))
+        for label, n, a in SCALING_SWEEP[scale]
+    ]
+    rows = []
+    for name, graph in workloads:
+        dict_seconds, csr_seconds, triangles = compare_backends(graph, theta)
+        rows.append(
+            (name, triangles, dict_seconds, csr_seconds, dict_seconds / csr_seconds)
+        )
+    return rows
+
+
+def format_backend_scaling(rows) -> str:
+    lines = [
+        f"{'dataset':<16} {'triangles':>9} {'dict (s)':>9} {'csr (s)':>9} {'speedup':>8}",
+        "-" * 56,
+    ]
+    for name, triangles, dict_seconds, csr_seconds, speedup in rows:
+        lines.append(
+            f"{name:<16} {triangles:>9} {dict_seconds:>9.3f} "
+            f"{csr_seconds:>9.3f} {speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_backend_scaling(benchmark, bench_scale):
+    from conftest import run_once
+
+    rows = run_once(benchmark, run_backend_scaling, scale=bench_scale)
+    assert rows
+    # The acceptance headline: CSR wins on the largest scaling instance.
+    largest = rows[-1]
+    assert largest[4] > 1.0, f"expected CSR speedup on {largest[0]}, got {largest[4]:.2f}x"
+    print()
+    print(format_backend_scaling(rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "small"), default="small")
+    parser.add_argument("--theta", type=float, default=0.3)
+    parser.add_argument(
+        "--estimator", choices=("dp", "hybrid"), default="dp",
+        help="support estimator used by both backends",
+    )
+    args = parser.parse_args(argv)
+    factory = HybridEstimator if args.estimator == "hybrid" else (lambda: None)
+    workloads = [
+        (name, load_dataset(name, scale=args.scale)) for name in DATASET_NAMES
+    ]
+    workloads += [
+        (label, power_law_cluster_graph(n, attachment=a, triangle_probability=0.7,
+                                        seed=97))
+        for label, n, a in SCALING_SWEEP[args.scale]
+    ]
+    rows = []
+    for name, graph in workloads:
+        dict_seconds, csr_seconds, triangles = compare_backends(
+            graph, args.theta, estimator_factory=factory
+        )
+        rows.append(
+            (name, triangles, dict_seconds, csr_seconds, dict_seconds / csr_seconds)
+        )
+    print(format_backend_scaling(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

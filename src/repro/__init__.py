@@ -49,6 +49,7 @@ from repro.core import (
     weak_nucleus_decomposition,
 )
 from repro.graph import (
+    CSRProbabilisticGraph,
     ProbabilisticGraph,
     graph_statistics,
     read_edge_list,
@@ -65,6 +66,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ProbabilisticGraph",
+    "CSRProbabilisticGraph",
     "graph_statistics",
     "read_edge_list",
     "write_edge_list",

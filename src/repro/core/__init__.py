@@ -26,8 +26,14 @@ from repro.core.global_nucleus import (
     global_nucleus_decomposition,
     union_of_nuclei,
 )
+from repro.core.batch import (
+    CSRTriangleIndex,
+    batched_initial_kappas,
+    build_triangle_extension_index,
+)
 from repro.core.hybrid import HybridEstimator, HybridParameters
 from repro.core.local import (
+    BACKENDS,
     clique_extension_probability,
     local_nucleus_decomposition,
     triangle_existence_probability,
@@ -42,6 +48,10 @@ from repro.core.support_dp import (
 from repro.core.weak_nucleus import triangle_weak_scores, weak_nucleus_decomposition
 
 __all__ = [
+    "BACKENDS",
+    "CSRTriangleIndex",
+    "batched_initial_kappas",
+    "build_triangle_extension_index",
     "BinomialEstimator",
     "DynamicProgrammingEstimator",
     "NormalEstimator",

@@ -1,0 +1,490 @@
+"""Batched κ-score initialization over CSR graphs (vectorized §5.3 estimators).
+
+Algorithm 1 spends most of its initialization time evaluating, per triangle,
+the support tail ``Pr[ζ ≥ k]`` — with the exact Equation-7 dynamic program or
+one of the §5.3 statistical approximations — one Python call at a time.  This
+module replaces that with a *batched* path used by ``backend="csr"``:
+
+1. :func:`build_triangle_extension_index` walks a
+   :class:`~repro.graph.csr.CSRProbabilisticGraph` once and produces, for
+   every triangle, its existence probability ``Pr(△)``, its completing
+   vertices and the extension probabilities ``Pr(E_i)`` — all as numpy arrays
+   gathered with ordered-adjacency merges and binary-search lookups.
+2. :func:`batched_initial_kappas` groups the triangles by support size
+   ``c_△`` (rows of equal length stack into a dense matrix) and evaluates the
+   estimator's tail for the whole group in a handful of vectorized numpy
+   operations, instead of one Python call per triangle.
+
+The vectorized kernels mirror the scalar estimators' floating-point
+arithmetic operation for operation within each recurrence.  One caveat keeps
+the parity guarantee honest: the CSR path aggregates each triangle's
+extension probabilities in canonical completing-vertex order, while the dict
+backend consumes them in 4-clique *discovery* order (which, coming from set
+iteration, is not even stable across interpreter runs for non-integer
+labels).  Reordering a floating-point sum can move a tail by an ulp, so a
+κ-score could in principle differ between backends — but only when
+``Pr(△)·Pr[ζ ≥ k]`` lies within one ulp of ``θ`` exactly.  The
+backend-parity tests assert identical decomposition output on every seed
+fixture, and the scaling benchmark asserts it on every workload it times.
+Custom :class:`~repro.core.approximations.SupportEstimator` subclasses
+without a vectorized kernel fall back to their scalar ``max_k`` per
+triangle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.approximations import (
+    BinomialEstimator,
+    DynamicProgrammingEstimator,
+    NormalEstimator,
+    PoissonEstimator,
+    SupportEstimator,
+    TranslatedPoissonEstimator,
+)
+from repro.core.hybrid import HybridEstimator
+from repro.core.support_dp import NO_VALID_K
+from repro.deterministic.cliques import (
+    IntTriangle,
+    _members_of_sorted_mask,
+    forward_adjacency_csr,
+    triangle_arrays_csr,
+)
+from repro.graph.csr import CSRProbabilisticGraph
+
+__all__ = [
+    "CSRTriangleIndex",
+    "build_triangle_extension_index",
+    "batched_initial_kappas",
+]
+
+_ERFC = np.frompyfunc(math.erfc, 1, 1)
+
+
+@dataclass
+class CSRTriangleIndex:
+    """Per-triangle structural and probabilistic data gathered from a CSR graph.
+
+    All four sequences are parallel: entry ``i`` describes triangle
+    ``triangles[i] = (u, v, w)`` (sorted CSR vertex ids), with existence
+    probability ``triangle_probabilities[i]``, completing vertices
+    ``completing[i]`` (sorted id array) and extension probabilities
+    ``extension_probabilities[i]`` (``Pr(E_z) = p(u,z)·p(v,z)·p(w,z)``,
+    parallel to ``completing[i]``).
+    """
+
+    triangles: list[IntTriangle]
+    triangle_probabilities: np.ndarray
+    completing: list[np.ndarray]
+    extension_probabilities: list[np.ndarray]
+
+
+class _EdgeProbabilityLookup:
+    """Vectorized edge-probability gather over the flat CSR arrays.
+
+    Every directed edge copy ``(i, j)`` is encoded as the scalar key
+    ``i·n + j``; because CSR rows are sorted and row owners ascend, the flat
+    key array is globally sorted, so a whole batch of edge probabilities is
+    one ``searchsorted`` plus one fancy-index — no per-edge Python work.
+    """
+
+    def __init__(self, csr: CSRProbabilisticGraph) -> None:
+        n = csr.num_vertices
+        degrees = np.diff(csr.indptr)
+        row_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        self._n = n
+        self._keys = row_owner * n + csr.indices
+        self._probs = csr.probabilities
+
+    def __call__(self, source: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Return ``p(source[i], target[i])`` for parallel id arrays of edges."""
+        keys = source * self._n + target
+        return self._probs[np.searchsorted(self._keys, keys)]
+
+    def has_edges(self, source: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Boolean mask telling which ``(source[i], target[i])`` pairs are edges."""
+        return _members_of_sorted_mask(source * self._n + target, self._keys)
+
+
+def _triangle_row_ids(
+    u_ids: np.ndarray, v_ids: np.ndarray, w_ids: np.ndarray, n: int
+) -> "tuple[object, bool]":
+    """Build a lookup from an ``(u, v, w)`` id triple to its triangle row.
+
+    When ``n³`` fits in int64 the lookup is a sorted composite-key array
+    searched with vectorized binary search; for astronomically large graphs
+    it degrades to a Python dict.  Returns ``(lookup, vectorized)``.
+    """
+    if n == 0 or n <= 2_000_000:  # n³ < 2⁶³
+        return (u_ids * n + v_ids) * n + w_ids, True
+    mapping = {
+        triple: i
+        for i, triple in enumerate(
+            zip(u_ids.tolist(), v_ids.tolist(), w_ids.tolist())
+        )
+    }
+    return mapping, False
+
+
+def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleIndex:
+    """Index every triangle of ``csr`` with its 4-clique extension probabilities.
+
+    Fully batched pipeline:
+
+    1. enumerate all triangles as parallel id arrays
+       (:func:`~repro.deterministic.cliques.triangle_arrays_csr`) and gather
+       their edge probabilities with the composite-key lookup;
+    2. enumerate all 4-cliques in one batch — for every triangle
+       ``(u, v, w)`` the candidates are the forward row of ``w``, filtered by
+       two vectorized edge-membership tests against ``v`` and ``u``;
+    3. scatter each 4-clique to its four member triangles: the completing
+       vertex and the extension probability ``Pr(E_z)`` are computed for all
+       cliques at once from the six gathered edge probabilities, and one
+       ``lexsort`` groups the pairs back into per-triangle arrays sorted by
+       completing vertex.
+    """
+    forward = forward_adjacency_csr(csr)
+    u_ids, v_ids, w_ids = triangle_arrays_csr(csr, forward=forward)
+    num_triangles = int(u_ids.size)
+    triangles: list[IntTriangle] = list(
+        zip(u_ids.tolist(), v_ids.tolist(), w_ids.tolist())
+    )
+    empty_int = np.empty(0, dtype=np.int64)
+    empty_float = np.empty(0, dtype=np.float64)
+    if num_triangles == 0:
+        return CSRTriangleIndex(
+            triangles=triangles,
+            triangle_probabilities=empty_float,
+            completing=[],
+            extension_probabilities=[],
+        )
+
+    probability_of = _EdgeProbabilityLookup(csr)
+    # Pr(△) = p(u,v) · p(u,w) · p(v,w), matching the scalar evaluation order.
+    tri_probs = (
+        probability_of(u_ids, v_ids)
+        * probability_of(u_ids, w_ids)
+        * probability_of(v_ids, w_ids)
+    )
+
+    # --- batched 4-clique enumeration ------------------------------------ #
+    fptr, fidx = forward
+    sizes = np.diff(fptr)[w_ids]
+    if int(sizes.sum()):
+        candidates = np.concatenate(
+            [fidx[fptr[w]:fptr[w + 1]] for w in w_ids.tolist()]
+        )
+        owner = np.repeat(np.arange(num_triangles, dtype=np.int64), sizes)
+        keep = probability_of.has_edges(v_ids[owner], candidates)
+        owner, candidates = owner[keep], candidates[keep]
+        keep = probability_of.has_edges(u_ids[owner], candidates)
+        owner, candidates = owner[keep], candidates[keep]
+    else:
+        owner = candidates = empty_int
+
+    if owner.size == 0:
+        return CSRTriangleIndex(
+            triangles=triangles,
+            triangle_probabilities=tri_probs,
+            completing=[empty_int] * num_triangles,
+            extension_probabilities=[empty_float] * num_triangles,
+        )
+
+    a, b, c, d = u_ids[owner], v_ids[owner], w_ids[owner], candidates
+    p_ab = probability_of(a, b)
+    p_ac = probability_of(a, c)
+    p_ad = probability_of(a, d)
+    p_bc = probability_of(b, c)
+    p_bd = probability_of(b, d)
+    p_cd = probability_of(c, d)
+
+    # --- scatter every 4-clique to its four member triangles -------------- #
+    n = csr.num_vertices
+    lookup, vectorized = _triangle_row_ids(u_ids, v_ids, w_ids, n)
+
+    def rows_of(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+        if vectorized:
+            return np.searchsorted(lookup, (x * n + y) * n + z)
+        return np.fromiter(
+            (lookup[triple] for triple in zip(x.tolist(), y.tolist(), z.tolist())),
+            dtype=np.int64,
+            count=x.size,
+        )
+
+    # Member (a,b,c) is the generating triangle itself (its row is `owner`);
+    # extension products follow the scalar p(u,z)·p(v,z)·p(w,z) order.
+    member_rows = np.concatenate(
+        [owner, rows_of(a, b, d), rows_of(a, c, d), rows_of(b, c, d)]
+    )
+    completing_ids = np.concatenate([d, c, b, a])
+    extensions = np.concatenate(
+        [
+            p_ad * p_bd * p_cd,  # triangle (a,b,c), completing vertex d
+            p_ac * p_bc * p_cd,  # triangle (a,b,d), completing vertex c
+            p_ab * p_bc * p_bd,  # triangle (a,c,d), completing vertex b
+            p_ab * p_ac * p_ad,  # triangle (b,c,d), completing vertex a
+        ]
+    )
+    order = np.lexsort((completing_ids, member_rows))
+    member_rows = member_rows[order]
+    completing_ids = completing_ids[order]
+    extensions = extensions[order]
+    counts = np.bincount(member_rows, minlength=num_triangles)
+    offsets = np.concatenate(([0], np.cumsum(counts))).tolist()
+    completing = [
+        completing_ids[offsets[i]:offsets[i + 1]] for i in range(num_triangles)
+    ]
+    extension_rows = [
+        extensions[offsets[i]:offsets[i + 1]] for i in range(num_triangles)
+    ]
+    return CSRTriangleIndex(
+        triangles=triangles,
+        triangle_probabilities=tri_probs,
+        completing=completing,
+        extension_probabilities=extension_rows,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# vectorized tail kernels
+# --------------------------------------------------------------------------- #
+def _tails_from_pmf(pmf: np.ndarray) -> np.ndarray:
+    """Row-wise reverse cumulative sum of a pmf matrix, clamped into [0, 1]."""
+    tails = np.cumsum(pmf[:, ::-1], axis=1)[:, ::-1]
+    return np.clip(tails, 0.0, 1.0)
+
+
+def _dp_tails(matrix: np.ndarray) -> np.ndarray:
+    """Exact Poisson-binomial tails (Equation 7) for all rows of ``matrix``."""
+    m, c = matrix.shape
+    pmf = np.zeros((m, c + 1), dtype=np.float64)
+    pmf[:, 0] = 1.0
+    for j in range(c):
+        p = matrix[:, j][:, None]
+        nxt = np.zeros_like(pmf)
+        nxt[:, 1:] = pmf[:, :-1] * p
+        nxt += pmf * (1.0 - p)
+        pmf = nxt
+    return _tails_from_pmf(pmf)
+
+
+def _poisson_tails_from_rates(rates: np.ndarray, count: int) -> np.ndarray:
+    """Row-wise ``Pr[Poisson(λ) ≥ k]`` for ``k = 0 … count`` (Equation 10)."""
+    m = rates.shape[0]
+    pmf = np.empty((m, count + 1), dtype=np.float64)
+    pmf[:, 0] = np.exp(-rates)
+    for k in range(1, count + 1):
+        pmf[:, k] = pmf[:, k - 1] * rates / k
+    below = 1.0 - pmf.sum(axis=1)
+    running = np.maximum(0.0, below)
+    tails = np.empty_like(pmf)
+    for k in range(count, -1, -1):
+        running = running + pmf[:, k]
+        tails[:, k] = np.clip(running, 0.0, 1.0)
+    return tails
+
+
+def _poisson_tails(matrix: np.ndarray) -> np.ndarray:
+    return _poisson_tails_from_rates(matrix.sum(axis=1), matrix.shape[1])
+
+
+def _translated_poisson_tails(matrix: np.ndarray) -> np.ndarray:
+    m, c = matrix.shape
+    lam = matrix.sum(axis=1)
+    variance = (matrix * (1.0 - matrix)).sum(axis=1)
+    shift = np.clip(np.floor(lam - variance).astype(np.int64), 0, c)
+    rates = np.maximum(0.0, lam - shift)
+    poisson_tails = _poisson_tails_from_rates(rates, c)
+    offsets = np.arange(c + 1, dtype=np.int64)[None, :] - shift[:, None]
+    columns = np.clip(offsets, 0, c)
+    gathered = poisson_tails[np.arange(m)[:, None], columns]
+    return np.where(offsets <= 0, 1.0, gathered)
+
+
+def _normal_tails(matrix: np.ndarray) -> np.ndarray:
+    m, c = matrix.shape
+    mean = matrix.sum(axis=1)
+    variance = (matrix * (1.0 - matrix)).sum(axis=1)
+    ks = np.arange(c + 1, dtype=np.float64)[None, :]
+    tails = np.empty((m, c + 1), dtype=np.float64)
+    degenerate = variance <= 0.0
+    if degenerate.any():
+        tails[degenerate] = (
+            ks <= (mean[degenerate] + 1e-12)[:, None]
+        ).astype(np.float64)
+    regular = ~degenerate
+    if regular.any():
+        sigma = np.sqrt(variance[regular])
+        z = (ks - mean[regular][:, None]) / sigma[:, None]
+        tails[regular] = 0.5 * _ERFC(z / math.sqrt(2.0)).astype(np.float64)
+    return tails
+
+
+def _binomial_tails(matrix: np.ndarray) -> np.ndarray:
+    m, n = matrix.shape
+    if n == 0:
+        return np.ones((m, 1), dtype=np.float64)
+    p = np.clip(matrix.sum(axis=1) / n, 0.0, 1.0)
+    pmf = np.zeros((m, n + 1), dtype=np.float64)
+    zero = p == 0.0
+    one = p == 1.0
+    mid = ~(zero | one)
+    pmf[zero, 0] = 1.0
+    pmf[one, n] = 1.0
+    if mid.any():
+        pm = p[mid]
+        pmf[mid, 0] = (1.0 - pm) ** n
+        column = pmf[mid, 0]
+        for k in range(1, n + 1):
+            column = column * (n - k + 1) * pm / (k * (1.0 - pm))
+            pmf[mid, k] = column
+    return _tails_from_pmf(pmf)
+
+
+_KERNELS: dict[type, object] = {
+    DynamicProgrammingEstimator: _dp_tails,
+    PoissonEstimator: _poisson_tails,
+    TranslatedPoissonEstimator: _translated_poisson_tails,
+    NormalEstimator: _normal_tails,
+    BinomialEstimator: _binomial_tails,
+}
+
+_KERNELS_BY_NAME = {
+    "dp": _dp_tails,
+    "poisson": _poisson_tails,
+    "translated_poisson": _translated_poisson_tails,
+    "clt": _normal_tails,
+    "binomial": _binomial_tails,
+}
+
+
+def _max_k_from_tails(
+    triangle_probabilities: np.ndarray, tails: np.ndarray, theta: float
+) -> np.ndarray:
+    """Vectorized largest ``k`` with ``Pr(△)·Pr[ζ ≥ k] ≥ θ`` per row.
+
+    Mirrors the scalar search: scan ``k`` upward and stop at the first
+    failure, returning :data:`NO_VALID_K` when even ``k = 0`` fails.
+    """
+    qualifies = triangle_probabilities[:, None] * tails >= theta
+    first_failure = np.argmax(~qualifies, axis=1)
+    all_qualify = qualifies.all(axis=1)
+    best = np.where(all_qualify, tails.shape[1] - 1, first_failure - 1)
+    return best.astype(np.int64)
+
+
+def _hybrid_partition(
+    matrix: np.ndarray, estimator: HybridEstimator
+) -> dict[str, np.ndarray]:
+    """Split the rows of ``matrix`` by the §5.3 selection rules.
+
+    Returns ``{estimator_name: row mask}`` applying the same cascade as
+    :meth:`HybridEstimator.select` to every row at once.
+    """
+    params = estimator.parameters
+    m, c = matrix.shape
+    masks: dict[str, np.ndarray] = {}
+    remaining = np.ones(m, dtype=bool)
+    if c >= params.clt_min_cliques:
+        masks["clt"] = remaining
+        return masks
+    if c < params.poisson_max_cliques:
+        poisson = (
+            remaining
+            if c == 0
+            else remaining & (matrix < params.poisson_max_probability).all(axis=1)
+        )
+    else:
+        poisson = np.zeros(m, dtype=bool)
+    masks["poisson"] = poisson
+    remaining = remaining & ~poisson
+    sum_squares = (matrix * matrix).sum(axis=1)
+    translated = remaining & (sum_squares > 1.0)
+    masks["translated_poisson"] = translated
+    remaining = remaining & ~translated
+    if c == 0:
+        ratio = np.ones(m, dtype=np.float64)
+    else:
+        mean = matrix.sum(axis=1)
+        true_variance = (matrix * (1.0 - matrix)).sum(axis=1)
+        p = mean / c
+        binomial_variance = c * p * (1.0 - p)
+        ratio = np.where(
+            binomial_variance <= 0.0,
+            1.0,
+            np.divide(
+                true_variance,
+                binomial_variance,
+                out=np.ones_like(true_variance),
+                where=binomial_variance > 0.0,
+            ),
+        )
+    binomial = remaining & (ratio >= params.binomial_min_variance_ratio)
+    masks["binomial"] = binomial
+    masks["dp"] = remaining & ~binomial
+    return {name: mask for name, mask in masks.items() if mask.any()}
+
+
+def batched_initial_kappas(
+    index: CSRTriangleIndex,
+    theta: float,
+    estimator: SupportEstimator,
+) -> np.ndarray:
+    """Compute the initial κ-score of every indexed triangle in vectorized batches.
+
+    Triangles are grouped by support size ``c_△``; each group's extension
+    probabilities stack into a dense ``(group, c_△)`` matrix evaluated by the
+    estimator's vectorized kernel in one shot.  The returned ``int64`` array
+    is parallel to ``index.triangles``.  For a
+    :class:`~repro.core.hybrid.HybridEstimator` the rows of a group are
+    further partitioned by the §5.3 selection cascade (and
+    ``estimator.selection_counts`` is updated accordingly); estimators without
+    a registered kernel are evaluated with their scalar ``max_k`` per row.
+    """
+    num_triangles = len(index.triangles)
+    kappas = np.empty(num_triangles, dtype=np.int64)
+    if num_triangles == 0:
+        return kappas
+
+    tri_probs = index.triangle_probabilities
+    rows = index.extension_probabilities
+
+    is_hybrid = isinstance(estimator, HybridEstimator)
+    kernel = None if is_hybrid else _KERNELS.get(type(estimator))
+    if kernel is None and not is_hybrid:
+        for i in range(num_triangles):
+            kappas[i] = estimator.max_k(
+                float(tri_probs[i]), rows[i].tolist(), theta
+            )
+        return kappas
+
+    groups: dict[int, list[int]] = {}
+    for i, row in enumerate(rows):
+        groups.setdefault(int(row.size), []).append(i)
+
+    for c, members in groups.items():
+        member_ids = np.asarray(members, dtype=np.int64)
+        matrix = (
+            np.empty((member_ids.size, 0), dtype=np.float64)
+            if c == 0
+            else np.stack([rows[i] for i in members])
+        )
+        group_probs = tri_probs[member_ids]
+        if is_hybrid:
+            for name, mask in _hybrid_partition(matrix, estimator).items():
+                estimator.selection_counts[name] += int(mask.sum())
+                tails = _KERNELS_BY_NAME[name](matrix[mask])
+                kappas[member_ids[mask]] = _max_k_from_tails(
+                    group_probs[mask], tails, theta
+                )
+        else:
+            tails = kernel(matrix)
+            kappas[member_ids] = _max_k_from_tails(group_probs, tails, theta)
+
+    # The sentinel contract: anything below 0 is NO_VALID_K.
+    np.maximum(kappas, NO_VALID_K, out=kappas)
+    return kappas

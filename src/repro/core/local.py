@@ -31,18 +31,25 @@ import heapq
 from dataclasses import dataclass
 
 from repro.core.approximations import DynamicProgrammingEstimator, SupportEstimator
+from repro.core.batch import batched_initial_kappas, build_triangle_extension_index
 from repro.core.hybrid import HybridEstimator
 from repro.core.result import LocalNucleusDecomposition
 from repro.core.support_dp import NO_VALID_K
 from repro.deterministic.cliques import (
     FourClique,
     Triangle,
+    canonical_four_clique,
+    canonical_triangle,
     triangle_clique_index,
 )
 from repro.exceptions import InvalidParameterError
+from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
+BACKENDS = ("dict", "csr")
+
 __all__ = [
+    "BACKENDS",
     "local_nucleus_decomposition",
     "triangle_existence_probability",
     "clique_extension_probability",
@@ -113,17 +120,73 @@ def _build_states(
     return states, by_clique
 
 
+def _build_states_csr(
+    csr: CSRProbabilisticGraph,
+    theta: float,
+    estimator: SupportEstimator,
+) -> tuple[dict[Triangle, _TriangleState], dict[FourClique, list[Triangle]]]:
+    """CSR counterpart of :func:`_build_states`.
+
+    Indexes triangles and 4-cliques with ordered-adjacency merges over the
+    CSR arrays and initialises every κ-score through the batched vectorized
+    estimators of :mod:`repro.core.batch`, then translates the int-id
+    structures back to canonical label space so the peeling loop (and all
+    result post-processing) is shared with the dict backend.
+    """
+    index = build_triangle_extension_index(csr)
+    kappas = batched_initial_kappas(index, theta, estimator)
+    labels = csr.vertex_labels
+    # When the label order agrees with plain sorting (the common case:
+    # homogeneous comparable labels), ascending-id tuples map straight to
+    # canonical tuples and the per-structure canonicalisation can be skipped.
+    try:
+        plainly_sorted = all(labels[i] <= labels[i + 1] for i in range(len(labels) - 1))
+    except TypeError:
+        plainly_sorted = False
+    states: dict[Triangle, _TriangleState] = {}
+    by_clique: dict[FourClique, list[Triangle]] = {}
+    for i, (u, v, w) in enumerate(index.triangles):
+        lu, lv, lw = labels[u], labels[v], labels[w]
+        triangle = (lu, lv, lw) if plainly_sorted else canonical_triangle(lu, lv, lw)
+        alive: dict[FourClique, float] = {}
+        extensions = index.extension_probabilities[i]
+        for position, z in enumerate(index.completing[i].tolist()):
+            lz = labels[z]
+            if plainly_sorted:
+                if lz <= lu:
+                    clique = (lz, lu, lv, lw)
+                elif lz <= lv:
+                    clique = (lu, lz, lv, lw)
+                elif lz <= lw:
+                    clique = (lu, lv, lz, lw)
+                else:
+                    clique = (lu, lv, lw, lz)
+            else:
+                clique = canonical_four_clique(lu, lv, lw, lz)
+            alive[clique] = float(extensions[position])
+            by_clique.setdefault(clique, []).append(triangle)
+        states[triangle] = _TriangleState(
+            probability=float(index.triangle_probabilities[i]),
+            kappa=int(kappas[i]),
+            alive_cliques=alive,
+        )
+    return states, by_clique
+
+
 def local_nucleus_decomposition(
-    graph: ProbabilisticGraph,
+    graph: ProbabilisticGraph | CSRProbabilisticGraph,
     theta: float,
     estimator: SupportEstimator | None = None,
+    backend: str = "dict",
 ) -> LocalNucleusDecomposition:
     """Compute the local probabilistic nucleus decomposition of ``graph``.
 
     Parameters
     ----------
     graph:
-        The probabilistic graph to decompose.
+        The probabilistic graph to decompose.  A
+        :class:`~repro.graph.csr.CSRProbabilisticGraph` is also accepted and
+        implies ``backend="csr"``.
     theta:
         Probability threshold ``θ ∈ [0, 1]`` of Definition 5.
     estimator:
@@ -132,6 +195,14 @@ def local_nucleus_decomposition(
         :class:`~repro.core.hybrid.HybridEstimator` to obtain the paper's
         ``AP`` algorithm, or any single approximation from
         :mod:`repro.core.approximations`.
+    backend:
+        ``"dict"`` (default) walks the dict-of-dicts graph exactly as the
+        seed implementation did; ``"csr"`` compiles the graph to the
+        array-backed CSR engine, enumerates triangles/4-cliques with ordered
+        adjacency merges, and initialises all κ-scores in vectorized batches
+        (:mod:`repro.core.batch`).  Both backends produce identical
+        decompositions; ``"csr"`` is markedly faster on graphs with many
+        triangles.
 
     Returns
     -------
@@ -148,10 +219,20 @@ def local_nucleus_decomposition(
     """
     if not 0.0 <= theta <= 1.0:
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
     if estimator is None:
         estimator = DynamicProgrammingEstimator()
 
-    states, by_clique = _build_states(graph, theta, estimator)
+    if isinstance(graph, CSRProbabilisticGraph):
+        csr, graph = graph, graph.to_probabilistic()
+        states, by_clique = _build_states_csr(csr, theta, estimator)
+    elif backend == "csr":
+        states, by_clique = _build_states_csr(graph.to_csr(), theta, estimator)
+    else:
+        states, by_clique = _build_states(graph, theta, estimator)
     alive_cliques: set[FourClique] = set(by_clique)
 
     heap: list[tuple[int, Triangle]] = [

@@ -83,12 +83,17 @@ def weak_nucleus_decomposition(
     local_result: LocalNucleusDecomposition | None = None,
     rng: random.Random | None = None,
     seed: int | None = None,
+    backend: str = "dict",
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) w-(k, θ)-nuclei of ``graph`` via Algorithm 3.
 
     Parameters mirror
     :func:`repro.core.global_nucleus.global_nucleus_decomposition`; the
-    returned nuclei carry ``mode="weakly-global"``.
+    returned nuclei carry ``mode="weakly-global"``.  ``backend`` selects the
+    engine of the candidate-producing local decomposition (``"dict"`` or
+    ``"csr"``, see :func:`repro.core.local.local_nucleus_decomposition`); the
+    per-candidate Monte-Carlo scoring always runs on the small candidate
+    subgraphs in dict form.
     """
     if k < 0:
         raise InvalidParameterError(f"k must be non-negative, got {k}")
@@ -100,7 +105,9 @@ def weak_nucleus_decomposition(
         rng = random.Random(seed)
 
     if local_result is None:
-        local_result = local_nucleus_decomposition(graph, theta, estimator=estimator)
+        local_result = local_nucleus_decomposition(
+            graph, theta, estimator=estimator, backend=backend
+        )
     candidates = local_result.nuclei(k)
 
     solutions: list[ProbabilisticNucleus] = []

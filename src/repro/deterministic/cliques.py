@@ -20,14 +20,23 @@ from __future__ import annotations
 import itertools
 from collections.abc import Iterable, Iterator
 
+import numpy as np
+
+from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph, Vertex
 
 Triangle = tuple[Vertex, Vertex, Vertex]
 FourClique = tuple[Vertex, Vertex, Vertex, Vertex]
 
+#: A triangle / 4-clique in CSR int-id space: a sorted tuple of vertex ids.
+IntTriangle = tuple[int, int, int]
+IntFourClique = tuple[int, int, int, int]
+
 __all__ = [
     "Triangle",
     "FourClique",
+    "IntTriangle",
+    "IntFourClique",
     "canonical_triangle",
     "canonical_four_clique",
     "triangles_of_clique",
@@ -39,6 +48,11 @@ __all__ = [
     "triangle_clique_index",
     "enumerate_k_cliques",
     "triangle_connected_components",
+    "forward_adjacency_csr",
+    "triangle_arrays_csr",
+    "enumerate_triangles_csr",
+    "common_neighbors_csr",
+    "triangle_clique_index_csr",
 ]
 
 
@@ -192,6 +206,154 @@ def enumerate_k_cliques(graph: ProbabilisticGraph, k: int) -> Iterator[tuple[Ver
         candidates = [w for w in graph.neighbors(v) if position[w] > i]
         candidates.sort(key=lambda w: position[w])
         yield from extend([v], candidates)
+
+
+# --------------------------------------------------------------------------- #
+# CSR variants: ordered-adjacency merges over the flat arrays
+# --------------------------------------------------------------------------- #
+def _members_of_sorted_mask(candidates: np.ndarray, row: np.ndarray) -> np.ndarray:
+    """Boolean mask of which ``candidates`` occur in the sorted array ``row``.
+
+    Binary-search membership: ``O(|candidates| · log |row|)``, all in C.
+    """
+    if row.size == 0:
+        return np.zeros(candidates.size, dtype=bool)
+    positions = np.searchsorted(row, candidates)
+    positions[positions == row.size] = row.size - 1
+    return row[positions] == candidates
+
+
+def _members_of_sorted(candidates: np.ndarray, row: np.ndarray) -> np.ndarray:
+    """Return the elements of ``candidates`` present in the sorted array ``row``."""
+    return candidates[_members_of_sorted_mask(candidates, row)]
+
+
+def forward_adjacency_csr(
+    csr: CSRProbabilisticGraph,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the *forward* adjacency of a CSR graph as ``(indptr, indices)``.
+
+    The forward row of vertex ``u`` contains only its neighbors with a larger
+    id, sorted ascending — the classical orientation that lets every triangle
+    and 4-clique be discovered exactly once from its lowest vertex.  Built
+    with a single vectorized pass over the full adjacency arrays.
+    """
+    n = csr.num_vertices
+    degrees = np.diff(csr.indptr)
+    row_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    keep = csr.indices > row_owner
+    forward_indices = csr.indices[keep]
+    forward_degrees = np.bincount(row_owner[keep], minlength=n)
+    forward_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(forward_degrees, out=forward_indptr[1:])
+    return forward_indptr, forward_indices
+
+
+def triangle_arrays_csr(
+    csr: CSRProbabilisticGraph,
+    forward: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return every triangle of a CSR graph as parallel ``(U, V, W)`` id arrays.
+
+    Triangles satisfy ``U < V < W`` element-wise and are listed in
+    lexicographic order of ``(u, v, w)``.  The enumeration batches one
+    vertex at a time: for vertex ``u`` with forward neighbors ``H``, the
+    candidates are the concatenated forward rows of every ``v ∈ H``, and a
+    single binary-search membership test against ``H`` keeps exactly the
+    ``w`` that close a triangle — ordered-array merges instead of hash
+    lookups, a handful of numpy calls per vertex.
+    """
+    fptr, fidx = forward_adjacency_csr(csr) if forward is None else forward
+    forward_degrees = np.diff(fptr)
+    rows = [fidx[fptr[u]:fptr[u + 1]] for u in range(csr.num_vertices)]
+    u_parts: list[np.ndarray] = []
+    v_parts: list[np.ndarray] = []
+    w_parts: list[np.ndarray] = []
+    for u, head in enumerate(rows):
+        if head.size < 2:
+            continue
+        sizes = forward_degrees[head]
+        total = int(sizes.sum())
+        if total == 0:
+            continue
+        neighbor_rows = [rows[v] for v in head.tolist()]
+        candidates = np.concatenate(neighbor_rows)
+        owners = np.repeat(head, sizes)
+        closing = _members_of_sorted_mask(candidates, head)
+        count = int(closing.sum())
+        if count:
+            u_parts.append(np.full(count, u, dtype=np.int64))
+            v_parts.append(owners[closing])
+            w_parts.append(candidates[closing])
+    if not u_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(u_parts),
+        np.concatenate(v_parts),
+        np.concatenate(w_parts),
+    )
+
+
+def enumerate_triangles_csr(csr: CSRProbabilisticGraph) -> Iterator[IntTriangle]:
+    """Enumerate every triangle of a CSR graph once, in int-id space.
+
+    Yields sorted ``(u, v, w)`` id tuples in lexicographic order; through the
+    canonical vertex relabelling these correspond one-to-one to the canonical
+    triangles of the dict-backed :func:`enumerate_triangles`.
+    """
+    u_ids, v_ids, w_ids = triangle_arrays_csr(csr)
+    yield from zip(u_ids.tolist(), v_ids.tolist(), w_ids.tolist())
+
+
+def common_neighbors_csr(
+    csr: CSRProbabilisticGraph, u: int, v: int, w: int
+) -> np.ndarray:
+    """Return the sorted ids of the common neighbors of three CSR vertices.
+
+    This is the CSR analogue of
+    :meth:`ProbabilisticGraph.common_neighbors
+    <repro.graph.probabilistic_graph.ProbabilisticGraph.common_neighbors>`
+    for a triangle: the result excludes ``u``, ``v`` and ``w`` automatically
+    (no row contains its own vertex) and lists exactly the vertices completing
+    the triangle to a 4-clique.
+    """
+    rows = sorted(
+        (csr.neighbor_ids(x) for x in (u, v, w)), key=lambda row: row.size
+    )
+    common = rows[0]
+    for row in rows[1:]:
+        common = _members_of_sorted(common, row)
+        if common.size == 0:
+            break
+    return common
+
+
+def triangle_clique_index_csr(
+    csr: CSRProbabilisticGraph,
+) -> tuple[dict[IntTriangle, list[IntFourClique]], dict[IntFourClique, list[IntTriangle]]]:
+    """CSR counterpart of :func:`triangle_clique_index`, in int-id space.
+
+    Returns the same bipartite triangle ↔ 4-clique incidence, with triangles
+    and cliques represented as sorted tuples of CSR vertex ids.  Mapping the
+    ids through ``csr.vertex_labels`` recovers exactly the canonical
+    structures the dict-backed index produces.
+    """
+    by_triangle: dict[IntTriangle, list[IntFourClique]] = {}
+    by_clique: dict[IntFourClique, list[IntTriangle]] = {}
+    for triangle in enumerate_triangles_csr(csr):
+        u, v, w = triangle
+        completing = common_neighbors_csr(csr, u, v, w)
+        cliques = [
+            tuple(sorted((u, v, w, z))) for z in completing.tolist()
+        ]
+        by_triangle[triangle] = cliques
+        for clique in cliques:
+            if clique not in by_clique:
+                by_clique[clique] = [
+                    combo for combo in itertools.combinations(clique, 3)
+                ]
+    return by_triangle, by_clique
 
 
 def triangle_connected_components(

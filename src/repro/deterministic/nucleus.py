@@ -188,11 +188,20 @@ def is_k_nucleus(graph: ProbabilisticGraph, k: int) -> bool:
         if canonical_edge(u, v) not in covered_edges:
             return False
 
-    # Condition 2: every triangle has 4-clique support at least k.
-    for cliques in by_triangle.values():
-        if len(cliques) < k:
+    # Conditions 2 and 3 quantify over the triangles that belong to at least
+    # one 4-clique.  A triangle contained in no 4-clique of the graph (an
+    # *incidental* triangle whose edges are contributed by different
+    # 4-cliques) is not part of the union-of-4-cliques structure, so it is
+    # exempt from the support requirement, forms no component of its own,
+    # and does not break connectivity; condition 1 already guarantees that
+    # its edges are covered.
+    in_some_clique = [t for t, cliques in by_triangle.items() if cliques]
+
+    # Condition 2: every structural triangle has 4-clique support at least k.
+    for triangle in in_some_clique:
+        if len(by_triangle[triangle]) < k:
             return False
 
-    # Condition 3: all triangles are 4-clique-connected.
-    components = triangle_connected_components(by_triangle.keys(), by_triangle)
+    # Condition 3: all structural triangles are mutually 4-clique-connected.
+    components = triangle_connected_components(in_some_clique, by_triangle)
     return len(components) == 1

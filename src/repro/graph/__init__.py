@@ -1,6 +1,7 @@
 """Probabilistic-graph substrate: data structure, I/O, generators, possible worlds."""
 
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, Vertex, canonical_edge
+from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.possible_worlds import (
     enumerate_worlds,
     expected_edge_count,
@@ -32,6 +33,7 @@ from repro.graph.statistics import GraphStatistics, format_statistics_table, gra
 
 __all__ = [
     "ProbabilisticGraph",
+    "CSRProbabilisticGraph",
     "Vertex",
     "Edge",
     "canonical_edge",

@@ -336,6 +336,28 @@ class ProbabilisticGraph:
             graph.add_edge(u, v, 1.0)
         return graph
 
+    def to_csr(self):
+        """Compile this graph into an int-indexed CSR snapshot.
+
+        Returns a :class:`repro.graph.csr.CSRProbabilisticGraph`: contiguous
+        numpy index/probability arrays with vertices relabelled to
+        ``0 … n-1``.  The snapshot is immutable; convert back with
+        :meth:`from_csr` (or ``csr.to_probabilistic()``).
+
+        >>> g = ProbabilisticGraph([(1, 2, 0.9), (2, 3, 0.5)])
+        >>> csr = g.to_csr()
+        >>> ProbabilisticGraph.from_csr(csr) == g
+        True
+        """
+        from repro.graph.csr import CSRProbabilisticGraph
+
+        return CSRProbabilisticGraph.from_probabilistic(self)
+
+    @classmethod
+    def from_csr(cls, csr) -> "ProbabilisticGraph":
+        """Expand a :class:`repro.graph.csr.CSRProbabilisticGraph` back to dict form."""
+        return csr.to_probabilistic()
+
     # ------------------------------------------------------------------ #
     # dunder methods
     # ------------------------------------------------------------------ #
