@@ -1,0 +1,210 @@
+"""Benchmark: dict vs world-matrix Monte-Carlo sampling for g-/w-NuDecomp.
+
+Times the sampling/verification stage of the global (Algorithm 2) and
+weakly-global (Algorithm 3) decompositions on every bundled dataset analogue,
+with the local pruning stage computed once and excluded (both backends share
+it, matching the paper's framing of FG/WG as post-processing).  The dict
+engine draws each possible world edge-by-edge in Python; the matrix engine
+(``backend="csr"``, :mod:`repro.sampling.world_matrix`) samples all
+``n_worlds`` worlds of a candidate in one RNG call and verifies them
+batch-wise.
+
+Results are printed as a table and written to a machine-readable JSON file
+(default ``BENCH_global_sampling.json``) that the CI ``bench-smoke`` job
+uploads as an artifact and gates on: ``--max-slowdown X`` exits non-zero if
+the matrix engine is more than ``X`` times slower than the dict engine on any
+workload (a regression gate, not a performance assertion).
+
+Usable under the pytest-benchmark harness
+(``pytest benchmarks/bench_global_sampling.py``) and standalone::
+
+    python benchmarks/bench_global_sampling.py --scale tiny --n-worlds 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.core.global_nucleus import global_nucleus_decomposition
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.global_nucleus import global_nucleus_decomposition
+
+from repro.core.local import local_nucleus_decomposition
+from repro.core.weak_nucleus import weak_nucleus_decomposition
+from repro.experiments.datasets import DATASET_NAMES, load_dataset
+
+DEFAULT_JSON = "BENCH_global_sampling.json"
+
+#: Monte-Carlo sample count of the paper's experiments (ε = δ = 0.1, rounded up).
+DEFAULT_N_WORLDS = 200
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def compare_sampling_backends(
+    graph,
+    theta: float,
+    n_worlds: int,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("global", "weak"),
+):
+    """Time both sampling engines on one graph; returns one row dict per algorithm."""
+    local = local_nucleus_decomposition(graph, theta)
+    k = max(1, local.max_score)
+    runners = {"global": global_nucleus_decomposition, "weak": weak_nucleus_decomposition}
+    rows = []
+    for algorithm in algorithms:
+        run = runners[algorithm]
+        dict_result, dict_seconds = _timed(
+            run, graph, k=k, theta=theta, n_samples=n_worlds,
+            local_result=local, seed=seed, backend="dict",
+        )
+        matrix_result, matrix_seconds = _timed(
+            run, graph, k=k, theta=theta, n_samples=n_worlds,
+            local_result=local, seed=seed, backend="csr",
+        )
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "k": k,
+                "triangles": local.num_triangles,
+                "dict_seconds": dict_seconds,
+                "matrix_seconds": matrix_seconds,
+                "speedup": dict_seconds / matrix_seconds,
+                "dict_nuclei": len(dict_result),
+                "matrix_nuclei": len(matrix_result),
+            }
+        )
+    return rows
+
+
+def run_global_sampling(
+    scale: str = "tiny",
+    theta: float = 0.01,
+    n_worlds: int = DEFAULT_N_WORLDS,
+    seed: int = 0,
+) -> list[dict]:
+    """Benchmark every bundled dataset analogue; returns flat row dicts."""
+    rows: list[dict] = []
+    for name in DATASET_NAMES:
+        graph = load_dataset(name, scale=scale)
+        for row in compare_sampling_backends(graph, theta, n_worlds, seed=seed):
+            rows.append({"dataset": name, **row})
+    return rows
+
+
+def summarize(rows: list[dict]) -> dict:
+    """Aggregate speedups: minimum and geometric mean across workloads."""
+    speedups = [row["speedup"] for row in rows]
+    return {
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "geomean_speedup": math.exp(sum(math.log(s) for s in speedups) / len(speedups)),
+    }
+
+
+def build_report(rows: list[dict], scale: str, theta: float, n_worlds: int) -> dict:
+    """Assemble the machine-readable benchmark report."""
+    return {
+        "benchmark": "global_sampling",
+        "scale": scale,
+        "theta": theta,
+        "n_worlds": n_worlds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+        "summary": summarize(rows),
+    }
+
+
+def format_global_sampling(rows: list[dict]) -> str:
+    lines = [
+        f"{'dataset':<12} {'algo':<7} {'k':>2} {'triangles':>9} "
+        f"{'dict (s)':>9} {'matrix (s)':>10} {'speedup':>8} {'nuclei':>11}",
+        "-" * 76,
+    ]
+    for row in rows:
+        nuclei = f"{row['dict_nuclei']}/{row['matrix_nuclei']}"
+        lines.append(
+            f"{row['dataset']:<12} {row['algorithm']:<7} {row['k']:>2} "
+            f"{row['triangles']:>9} {row['dict_seconds']:>9.3f} "
+            f"{row['matrix_seconds']:>10.3f} {row['speedup']:>7.2f}x {nuclei:>11}"
+        )
+    return "\n".join(lines)
+
+
+def test_global_sampling(benchmark, bench_scale, tmp_path):
+    from conftest import run_once
+
+    rows = run_once(benchmark, run_global_sampling, scale=bench_scale)
+    assert rows
+    report = build_report(rows, bench_scale, theta=0.01, n_worlds=DEFAULT_N_WORLDS)
+    (tmp_path / DEFAULT_JSON).write_text(json.dumps(report, indent=2))
+    # The acceptance headline: the matrix engine wins overall.
+    summary = report["summary"]
+    assert summary["geomean_speedup"] > 1.0, (
+        f"expected a matrix-engine speedup, got {summary['geomean_speedup']:.2f}x"
+    )
+    print()
+    print(format_global_sampling(rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--theta", type=float, default=0.01)
+    parser.add_argument("--n-worlds", type=int, default=DEFAULT_N_WORLDS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", default=DEFAULT_JSON, metavar="PATH",
+        help=f"write the machine-readable report here (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=None, metavar="X",
+        help="exit non-zero if the matrix engine is more than X times slower "
+             "than the dict engine on any workload (CI regression gate)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_global_sampling(
+        scale=args.scale, theta=args.theta, n_worlds=args.n_worlds, seed=args.seed
+    )
+    report = build_report(rows, args.scale, args.theta, args.n_worlds)
+    Path(args.json).write_text(json.dumps(report, indent=2))
+    print(format_global_sampling(rows))
+    summary = report["summary"]
+    print(
+        f"\nmin speedup {summary['min_speedup']:.2f}x · "
+        f"geomean {summary['geomean_speedup']:.2f}x · "
+        f"max {summary['max_speedup']:.2f}x · report -> {args.json}"
+    )
+
+    if args.max_slowdown is not None:
+        threshold = 1.0 / args.max_slowdown
+        offenders = [row for row in rows if row["speedup"] < threshold]
+        if offenders:
+            for row in offenders:
+                print(
+                    f"REGRESSION: {row['dataset']}/{row['algorithm']} matrix engine is "
+                    f"{1.0 / row['speedup']:.2f}x slower than dict "
+                    f"(gate: {args.max_slowdown:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

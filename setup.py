@@ -37,7 +37,8 @@ setup(
     extras_require={
         "networkx": ["networkx>=2.6"],
         "benchmarks": ["pytest", "pytest-benchmark"],
-        "tests": ["pytest", "hypothesis"],
+        "tests": ["pytest", "hypothesis", "pytest-cov"],
+        "lint": ["ruff"],
     },
     entry_points={
         "console_scripts": [

@@ -45,7 +45,11 @@ from repro.core.support_dp import (
     poisson_binomial_pmf,
     support_tail_probabilities,
 )
-from repro.core.weak_nucleus import triangle_weak_scores, weak_nucleus_decomposition
+from repro.core.weak_nucleus import (
+    triangle_weak_scores,
+    triangle_weak_scores_matrix,
+    weak_nucleus_decomposition,
+)
 
 __all__ = [
     "BACKENDS",
@@ -74,5 +78,6 @@ __all__ = [
     "poisson_binomial_pmf",
     "support_tail_probabilities",
     "triangle_weak_scores",
+    "triangle_weak_scores_matrix",
     "weak_nucleus_decomposition",
 ]

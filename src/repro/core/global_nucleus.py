@@ -25,8 +25,10 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.approximations import SupportEstimator
-from repro.core.local import local_nucleus_decomposition
+from repro.core.local import BACKENDS, local_nucleus_decomposition
 from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
 from repro.deterministic.cliques import (
     FourClique,
@@ -40,8 +42,47 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge
 from repro.sampling.monte_carlo import hoeffding_sample_size
+from repro.sampling.world_matrix import (
+    CandidateWorldIndex,
+    WorldShardPool,
+    as_numpy_generator,
+    global_triangle_counts,
+)
 
 __all__ = ["global_nucleus_decomposition", "candidate_closure", "union_of_nuclei"]
+
+
+def resolve_sampling_options(
+    backend: str,
+    n_jobs: int,
+    rng: "random.Random | np.random.Generator | None",
+    seed: int | None,
+) -> "random.Random | np.random.Generator":
+    """Validate the sampling knobs shared by Algorithms 2 and 3.
+
+    Returns the engine RNG for the selected backend: a
+    :class:`random.Random` for the dict path (created from ``seed`` when not
+    supplied) or a numpy :class:`~numpy.random.Generator` for the
+    world-matrix path (a supplied ``random.Random`` is converted
+    deterministically, see
+    :func:`repro.sampling.world_matrix.as_numpy_generator`).  World sharding
+    (``n_jobs > 1``) only exists in the matrix engine.
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if n_jobs < 1:
+        raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs > 1 and backend != "csr":
+        raise InvalidParameterError(
+            'n_jobs > 1 requires backend="csr" (the dict engine samples world-by-world)'
+        )
+    if backend == "csr":
+        return as_numpy_generator(rng, seed)
+    if rng is None:
+        return random.Random(seed)
+    if isinstance(rng, np.random.Generator):
+        return random.Random(int(rng.integers(0, 2**63)))
+    return rng
 
 
 def union_of_nuclei(nuclei: Sequence[ProbabilisticNucleus]) -> ProbabilisticGraph:
@@ -116,6 +157,56 @@ def _world_contains_triangle(world: ProbabilisticGraph, triangle: Triangle) -> b
     return world.has_edge(u, v) and world.has_edge(u, w) and world.has_edge(v, w)
 
 
+def _verify_candidate_dict(
+    subgraph: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    n_samples: int,
+    rng: random.Random,
+) -> tuple[bool, list[Triangle]]:
+    """Reference Monte-Carlo verification: one dict world at a time."""
+    triangles = list(enumerate_triangles(subgraph))
+    if not triangles:
+        return False, triangles
+
+    worlds = [sample_world(subgraph, rng=rng) for _ in range(n_samples)]
+    nucleus_worlds = [world for world in worlds if is_k_nucleus(world, k)]
+
+    for triangle in triangles:
+        hits = sum(
+            1 for world in nucleus_worlds
+            if _world_contains_triangle(world, triangle)
+        )
+        if hits / n_samples < theta:
+            return False, triangles
+    return True, triangles
+
+
+def _verify_candidate_matrix(
+    subgraph: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    n_samples: int,
+    rng: np.random.Generator,
+    pool: WorldShardPool | None,
+) -> tuple[bool, list[Triangle]]:
+    """World-matrix Monte-Carlo verification: all worlds in one batch.
+
+    Samples the candidate's ``(n_samples, n_edges)`` boolean world matrix
+    with a single RNG call and thresholds the batched per-triangle counts of
+    :func:`repro.sampling.world_matrix.global_triangle_counts`.
+    """
+    index = CandidateWorldIndex.from_graph(subgraph)
+    triangles = index.triangle_labels()
+    if not triangles:
+        return False, triangles
+
+    worlds = index.sample(n_samples, rng=rng)
+    counts = global_triangle_counts(index, worlds, k, pool=pool)
+    passes = bool(np.all(counts / n_samples >= theta))
+    return passes, triangles
+
+
 def global_nucleus_decomposition(
     graph: ProbabilisticGraph,
     k: int,
@@ -125,8 +216,10 @@ def global_nucleus_decomposition(
     n_samples: int | None = None,
     estimator: SupportEstimator | None = None,
     local_result: LocalNucleusDecomposition | None = None,
-    rng: random.Random | None = None,
+    rng: "random.Random | np.random.Generator | None" = None,
     seed: int | None = None,
+    backend: str = "dict",
+    n_jobs: int = 1,
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) g-(k, θ)-nuclei of ``graph`` via Algorithm 2.
 
@@ -147,7 +240,20 @@ def global_nucleus_decomposition(
         A pre-computed local decomposition of ``graph`` at the same θ, reused
         to avoid recomputing the pruning step.
     rng, seed:
-        Source of randomness for the world sampling.
+        Source of randomness for the world sampling.  Runs are reproducible
+        for a fixed ``seed`` (or a seeded ``rng``) on both backends; each
+        backend consumes its own kind of stream, so the two backends draw
+        different (identically distributed) world samples.
+    backend:
+        ``"dict"`` (default) samples and verifies worlds one at a time on the
+        dict substrate; ``"csr"`` runs the local pruning on the CSR engine
+        and verifies every candidate with the vectorized world-matrix
+        sampler (:mod:`repro.sampling.world_matrix`).
+    n_jobs:
+        Number of ``multiprocessing`` workers sharding each candidate's
+        world matrix (``backend="csr"`` only).  Results are identical for
+        every ``n_jobs`` value at a fixed seed because the matrix is sampled
+        before it is split.
 
     Returns
     -------
@@ -161,11 +267,12 @@ def global_nucleus_decomposition(
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
-    if rng is None:
-        rng = random.Random(seed)
+    engine_rng = resolve_sampling_options(backend, n_jobs, rng, seed)
 
     if local_result is None:
-        local_result = local_nucleus_decomposition(graph, theta, estimator=estimator)
+        local_result = local_nucleus_decomposition(
+            graph, theta, estimator=estimator, backend=backend
+        )
     local_nuclei = local_result.nuclei(k)
     if not local_nuclei:
         return []
@@ -176,50 +283,45 @@ def global_nucleus_decomposition(
     seen_candidates: set[frozenset[FourClique]] = set()
     seen_solutions: set[frozenset[Edge]] = set()
 
-    for seed_triangle in by_triangle:
-        cliques = candidate_closure(candidate_graph, seed_triangle, k, by_triangle)
-        if not cliques:
-            continue
-        candidate_key = frozenset(cliques)
-        if candidate_key in seen_candidates:
-            continue
-        seen_candidates.add(candidate_key)
+    pool = WorldShardPool(n_jobs) if n_jobs > 1 else None
+    try:
+        for seed_triangle in by_triangle:
+            cliques = candidate_closure(candidate_graph, seed_triangle, k, by_triangle)
+            if not cliques:
+                continue
+            candidate_key = frozenset(cliques)
+            if candidate_key in seen_candidates:
+                continue
+            seen_candidates.add(candidate_key)
 
-        subgraph = _cliques_to_subgraph(graph, cliques)
-        triangles = list(enumerate_triangles(subgraph))
-        if not triangles:
-            continue
+            subgraph = _cliques_to_subgraph(graph, cliques)
+            if backend == "csr":
+                all_pass, triangles = _verify_candidate_matrix(
+                    subgraph, k, theta, n_samples, engine_rng, pool
+                )
+            else:
+                all_pass, triangles = _verify_candidate_dict(
+                    subgraph, k, theta, n_samples, engine_rng
+                )
+            if not all_pass:
+                continue
 
-        worlds = [sample_world(subgraph, rng=rng) for _ in range(n_samples)]
-        nucleus_worlds = [
-            world for world in worlds if is_k_nucleus(world, k)
-        ]
-
-        all_pass = True
-        for triangle in triangles:
-            hits = sum(
-                1 for world in nucleus_worlds
-                if _world_contains_triangle(world, triangle)
+            edge_key = frozenset(canonical_edge(u, v) for u, v, _ in subgraph.edges())
+            if edge_key in seen_solutions:
+                continue
+            seen_solutions.add(edge_key)
+            solutions.append(
+                ProbabilisticNucleus(
+                    k=k,
+                    theta=theta,
+                    mode="global",
+                    subgraph=subgraph,
+                    triangles=frozenset(triangles),
+                )
             )
-            if hits / n_samples < theta:
-                all_pass = False
-                break
-        if not all_pass:
-            continue
-
-        edge_key = frozenset(canonical_edge(u, v) for u, v, _ in subgraph.edges())
-        if edge_key in seen_solutions:
-            continue
-        seen_solutions.add(edge_key)
-        solutions.append(
-            ProbabilisticNucleus(
-                k=k,
-                theta=theta,
-                mode="global",
-                subgraph=subgraph,
-                triangles=frozenset(triangles),
-            )
-        )
+    finally:
+        if pool is not None:
+            pool.close()
     return _keep_maximal(solutions)
 
 

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.core.approximations import SupportEstimator
+from repro.core.global_nucleus import resolve_sampling_options
 from repro.core.local import local_nucleus_decomposition
 from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
 from repro.deterministic.cliques import (
@@ -38,8 +41,17 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.sampling.monte_carlo import hoeffding_sample_size
+from repro.sampling.world_matrix import (
+    CandidateWorldIndex,
+    WorldShardPool,
+    weak_membership_counts,
+)
 
-__all__ = ["weak_nucleus_decomposition", "triangle_weak_scores"]
+__all__ = [
+    "weak_nucleus_decomposition",
+    "triangle_weak_scores",
+    "triangle_weak_scores_matrix",
+]
 
 
 def triangle_weak_scores(
@@ -72,6 +84,35 @@ def triangle_weak_scores(
     return {t: c / n_samples for t, c in counts.items()}
 
 
+def triangle_weak_scores_matrix(
+    candidate: ProbabilisticGraph,
+    k: int,
+    n_samples: int,
+    rng: "np.random.Generator | random.Random | None" = None,
+    seed: int | None = None,
+    pool: WorldShardPool | None = None,
+) -> dict[Triangle, float]:
+    """World-matrix counterpart of :func:`triangle_weak_scores`.
+
+    Samples all ``n_samples`` worlds of ``candidate`` at once as a boolean
+    edge matrix and counts per-triangle k-nucleus membership batch-wise
+    (:func:`repro.sampling.world_matrix.weak_membership_counts`), optionally
+    sharding the matrix across a :class:`WorldShardPool`.  The per-world
+    membership rule is identical to the dict path; only the sampled stream
+    differs (numpy bits instead of ``random.Random`` bits), so the two
+    estimators agree in distribution.
+    """
+    if n_samples <= 0:
+        raise InvalidParameterError(f"n_samples must be positive, got {n_samples}")
+    index = CandidateWorldIndex.from_graph(candidate)
+    worlds = index.sample(n_samples, rng=rng, seed=seed)
+    counts = weak_membership_counts(index, worlds, k, pool=pool)
+    return {
+        triangle: count / n_samples
+        for triangle, count in zip(index.triangle_labels(), counts.tolist())
+    }
+
+
 def weak_nucleus_decomposition(
     graph: ProbabilisticGraph,
     k: int,
@@ -81,19 +122,23 @@ def weak_nucleus_decomposition(
     n_samples: int | None = None,
     estimator: SupportEstimator | None = None,
     local_result: LocalNucleusDecomposition | None = None,
-    rng: random.Random | None = None,
+    rng: "random.Random | np.random.Generator | None" = None,
     seed: int | None = None,
     backend: str = "dict",
+    n_jobs: int = 1,
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) w-(k, θ)-nuclei of ``graph`` via Algorithm 3.
 
     Parameters mirror
     :func:`repro.core.global_nucleus.global_nucleus_decomposition`; the
-    returned nuclei carry ``mode="weakly-global"``.  ``backend`` selects the
-    engine of the candidate-producing local decomposition (``"dict"`` or
-    ``"csr"``, see :func:`repro.core.local.local_nucleus_decomposition`); the
-    per-candidate Monte-Carlo scoring always runs on the small candidate
-    subgraphs in dict form.
+    returned nuclei carry ``mode="weakly-global"``.  ``backend`` selects both
+    the engine of the candidate-producing local decomposition (``"dict"`` or
+    ``"csr"``, see :func:`repro.core.local.local_nucleus_decomposition`) and
+    the Monte-Carlo scorer: ``"dict"`` samples candidate worlds one at a time
+    (:func:`triangle_weak_scores`) while ``"csr"`` scores each candidate with
+    the vectorized world-matrix engine
+    (:func:`triangle_weak_scores_matrix`), optionally sharded across
+    ``n_jobs`` worker processes.
     """
     if k < 0:
         raise InvalidParameterError(f"k must be non-negative, got {k}")
@@ -101,8 +146,7 @@ def weak_nucleus_decomposition(
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
-    if rng is None:
-        rng = random.Random(seed)
+    engine_rng = resolve_sampling_options(backend, n_jobs, rng, seed)
 
     if local_result is None:
         local_result = local_nucleus_decomposition(
@@ -111,33 +155,43 @@ def weak_nucleus_decomposition(
     candidates = local_result.nuclei(k)
 
     solutions: list[ProbabilisticNucleus] = []
-    for candidate in candidates:
-        subgraph = candidate.subgraph
-        scores = triangle_weak_scores(subgraph, k, n_samples, rng)
-        qualifying = {t for t, score in scores.items() if score >= theta}
-        if not qualifying:
-            continue
-        by_triangle, by_clique = triangle_clique_index(subgraph)
-        allowed = {
-            clique
-            for clique, members in by_clique.items()
-            if all(t in qualifying for t in members)
-        }
-        covered = {
-            t for t in qualifying
-            if any(c in allowed for c in by_triangle.get(t, ()))
-        }
-        if not covered:
-            continue
-        components = triangle_connected_components(covered, by_triangle, allowed)
-        for component in components:
-            solutions.append(
-                ProbabilisticNucleus(
-                    k=k,
-                    theta=theta,
-                    mode="weakly-global",
-                    subgraph=triangles_to_edge_subgraph(graph, component),
-                    triangles=frozenset(component),
+    pool = WorldShardPool(n_jobs) if n_jobs > 1 else None
+    try:
+        for candidate in candidates:
+            subgraph = candidate.subgraph
+            if backend == "csr":
+                scores = triangle_weak_scores_matrix(
+                    subgraph, k, n_samples, rng=engine_rng, pool=pool
                 )
-            )
+            else:
+                scores = triangle_weak_scores(subgraph, k, n_samples, engine_rng)
+            qualifying = {t for t, score in scores.items() if score >= theta}
+            if not qualifying:
+                continue
+            by_triangle, by_clique = triangle_clique_index(subgraph)
+            allowed = {
+                clique
+                for clique, members in by_clique.items()
+                if all(t in qualifying for t in members)
+            }
+            covered = {
+                t for t in qualifying
+                if any(c in allowed for c in by_triangle.get(t, ()))
+            }
+            if not covered:
+                continue
+            components = triangle_connected_components(covered, by_triangle, allowed)
+            for component in components:
+                solutions.append(
+                    ProbabilisticNucleus(
+                        k=k,
+                        theta=theta,
+                        mode="weakly-global",
+                        subgraph=triangles_to_edge_subgraph(graph, component),
+                        triangles=frozenset(component),
+                    )
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     return solutions

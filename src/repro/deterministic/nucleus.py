@@ -28,11 +28,9 @@ import heapq
 from collections.abc import Iterable
 
 from repro.deterministic.cliques import (
-    FourClique,
     Triangle,
     triangle_clique_index,
     triangle_connected_components,
-    triangles_of_clique,
 )
 from repro.exceptions import InvalidParameterError
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge

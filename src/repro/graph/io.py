@@ -18,7 +18,7 @@ ljournal-2008 before synthetic probabilities are attached.
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Iterable
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.exceptions import GraphFormatError

@@ -1,4 +1,10 @@
-"""Monte-Carlo machinery: sample sizes, world-probability estimation, reliability."""
+"""Monte-Carlo machinery: sample sizes, world-probability estimation, reliability.
+
+Two sampling engines live here: the scalar helpers of
+:mod:`repro.sampling.monte_carlo` (one dict-backed world at a time) and the
+vectorized world-matrix engine of :mod:`repro.sampling.world_matrix` used by
+the ``backend="csr"`` paths of the global and weakly-global decompositions.
+"""
 
 from repro.sampling.monte_carlo import (
     MonteCarloEstimate,
@@ -12,6 +18,17 @@ from repro.sampling.reliability import (
     exact_reliability,
     reliability_decision,
 )
+from repro.sampling.world_matrix import (
+    CandidateWorldIndex,
+    WorldShardPool,
+    as_numpy_generator,
+    global_triangle_counts,
+    nucleus_world_mask,
+    sample_world_matrix,
+    structure_presence,
+    weak_membership_counts,
+    world_from_row,
+)
 
 __all__ = [
     "MonteCarloEstimate",
@@ -22,4 +39,13 @@ __all__ = [
     "estimate_reliability",
     "exact_reliability",
     "reliability_decision",
+    "CandidateWorldIndex",
+    "WorldShardPool",
+    "as_numpy_generator",
+    "global_triangle_counts",
+    "nucleus_world_mask",
+    "sample_world_matrix",
+    "structure_presence",
+    "weak_membership_counts",
+    "world_from_row",
 ]

@@ -67,8 +67,11 @@ def estimate_reliability(
     )
 
 
-def reliability_decision(graph: ProbabilisticGraph, theta: float,
-                         max_edges: int = 20) -> bool:
+def reliability_decision(
+    graph: ProbabilisticGraph,
+    theta: float,
+    max_edges: int = 20,
+) -> bool:
     """Decision version of reliability (Definition 7): is reliability ≥ θ?
 
     Computed exactly via enumeration; intended for the small instances used

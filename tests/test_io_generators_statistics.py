@@ -28,7 +28,6 @@ from repro.graph.io import (
     read_edge_list,
     write_edge_list,
 )
-from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.graph.statistics import format_statistics_table, graph_statistics
 
 

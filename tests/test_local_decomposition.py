@@ -7,7 +7,6 @@ and property-based checks on random graphs.
 
 from __future__ import annotations
 
-import itertools
 
 import pytest
 from hypothesis import given, settings
