@@ -1,0 +1,261 @@
+"""Benchmark: serve-time query engine vs recompute-from-scratch.
+
+Builds a :class:`repro.index.NucleusIndex` once for a bundled dataset
+analogue and then answers three representative query workloads twice —
+
+* **max_score** — the maximum nucleus score of every vertex (one batched
+  numpy gather on the engine side);
+* **nucleus_of** — single-seed community search for every nucleus member
+  vertex, measured with a cold LRU cache and again fully hot; these queries
+  arrive one at a time, so the recompute side pays one decomposition per
+  query (measured once, extrapolated to the workload);
+* **top_nuclei** — the top-5 densest nuclei across all levels.
+
+The *engine* side answers from the prebuilt index
+(:class:`repro.query.NucleusQueryEngine`); the *recompute* side does what a
+caller without the index must do: run ``local_nucleus_decomposition`` from
+scratch and inspect the result objects.  Both sides return identical answers
+(asserted), so the comparison is pure serving cost.
+
+Results are printed as a table and written to ``BENCH_query_engine.json``;
+CI's ``bench-smoke`` job uploads the report and gates with
+``--min-speedup 10``: the engine must answer every workload at least 10x
+faster than recomputing.  Standalone usage::
+
+    python benchmarks/bench_query_engine.py --dataset krogan --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.core.local import local_nucleus_decomposition
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.local import local_nucleus_decomposition
+
+from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.index import build_local_index
+from repro.metrics.density import probabilistic_density
+from repro.query import NucleusQueryEngine
+
+DEFAULT_JSON = "BENCH_query_engine.json"
+DEFAULT_DATASET = "krogan"
+DEFAULT_THETA = 0.3
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _recompute_max_scores(graph, theta, vertices):
+    result = local_nucleus_decomposition(graph, theta)
+    best = {v: -1 for v in vertices}
+    for triangle, score in result.scores.items():
+        for vertex in triangle:
+            if score > best.get(vertex, score):
+                best[vertex] = score
+    return [best[v] for v in vertices]
+
+
+def _smallest_containing(nuclei, seed):
+    candidates = [n for n in nuclei if seed in n.subgraph]
+    return min(
+        candidates, key=lambda n: (n.num_vertices, n.num_edges, sorted(n.triangles))
+    )
+
+
+def _recompute_nucleus_of(graph, theta, k, seeds):
+    result = local_nucleus_decomposition(graph, theta)
+    nuclei = result.nuclei(k)
+    return [_smallest_containing(nuclei, seed).triangles for seed in seeds]
+
+
+def _recompute_top(graph, theta, n):
+    result = local_nucleus_decomposition(graph, theta)
+    ranked = []
+    for k in range(0, result.max_score + 1):
+        for nucleus in result.nuclei(k):
+            ranked.append((probabilistic_density(nucleus.subgraph), nucleus))
+    ranked.sort(key=lambda pair: -pair[0])
+    return [nucleus.triangles for _, nucleus in ranked[:n]]
+
+
+def run_query_engine(
+    dataset: str = DEFAULT_DATASET,
+    scale: str = "tiny",
+    theta: float = DEFAULT_THETA,
+    max_seeds: int = 200,
+) -> dict:
+    """Time the three workloads; returns the full report dict."""
+    graph = load_dataset(dataset, scale=scale)
+    vertices = sorted(graph.vertices())
+
+    build_start = time.perf_counter()
+    index = build_local_index(graph, theta)
+    build_seconds = time.perf_counter() - build_start
+    engine = NucleusQueryEngine(index)
+
+    k = max(index.levels, default=0)
+    seeds = [v for v in vertices if engine.contains(v, k)][:max_seeds]
+    rows = []
+
+    # Workload 1: vertex -> max score, every vertex in one batched gather.
+    engine_answer, engine_seconds = _timed(
+        lambda: engine.max_score_batch(vertices).tolist()
+    )
+    recompute_answer, recompute_seconds = _timed(
+        _recompute_max_scores, graph, theta, vertices
+    )
+    assert engine_answer == recompute_answer
+    rows.append(("max_score", len(vertices), engine_seconds, recompute_seconds))
+
+    # Workload 2: community search per member vertex, cold cache then hot.
+    # Queries arrive one at a time, so a caller without the index pays one
+    # full decomposition per query; the per-query recompute cost is measured
+    # once and extrapolated to the whole workload.
+    engine_answer, cold_seconds = _timed(
+        lambda: [engine.nucleus_of(s, k).triangles for s in seeds]
+    )
+    one_answer, per_query_seconds = _timed(
+        _recompute_nucleus_of, graph, theta, k, seeds[:1]
+    )
+    assert engine_answer[:1] == one_answer
+    assert engine_answer == _recompute_nucleus_of(graph, theta, k, seeds)
+    recompute_seconds = per_query_seconds * len(seeds)
+    rows.append(("nucleus_of_cold", len(seeds), cold_seconds, recompute_seconds))
+    hot_answer, hot_seconds = _timed(
+        lambda: [engine.nucleus_of(s, k).triangles for s in seeds]
+    )
+    assert hot_answer == engine_answer
+    rows.append(("nucleus_of_hot", len(seeds), hot_seconds, recompute_seconds))
+
+    # Workload 3: top-5 densest nuclei across every level.
+    engine_answer, engine_seconds = _timed(
+        lambda: [n.triangles for n in engine.top_nuclei(n=5, by="density")]
+    )
+    recompute_answer, recompute_seconds = _timed(_recompute_top, graph, theta, 5)
+    assert engine_answer == recompute_answer
+    rows.append(("top_nuclei", 5, engine_seconds, recompute_seconds))
+
+    row_dicts = [
+        {
+            "query": query,
+            "n_queries": n_queries,
+            "engine_seconds": engine_seconds,
+            "recompute_seconds": recompute_seconds,
+            "speedup": recompute_seconds / engine_seconds,
+            "engine_qps": n_queries / engine_seconds,
+            "recompute_qps": n_queries / recompute_seconds,
+        }
+        for query, n_queries, engine_seconds, recompute_seconds in rows
+    ]
+    speedups = [row["speedup"] for row in row_dicts]
+    return {
+        "benchmark": "query_engine",
+        "dataset": dataset,
+        "scale": scale,
+        "theta": theta,
+        "k": k,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "build_seconds": build_seconds,
+        "index_triangles": index.num_triangles,
+        "index_components": index.num_components,
+        "cache": engine.cache_info(),
+        "rows": row_dicts,
+        "summary": {
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "geomean_speedup": math.exp(
+                sum(math.log(s) for s in speedups) / len(speedups)
+            ),
+        },
+    }
+
+
+def format_query_engine(report: dict) -> str:
+    lines = [
+        f"dataset={report['dataset']} scale={report['scale']} "
+        f"theta={report['theta']} k={report['k']} "
+        f"(index build: {report['build_seconds']:.3f}s, "
+        f"{report['index_triangles']} triangles, "
+        f"{report['index_components']} components)",
+        f"{'query':<16} {'queries':>8} {'engine (s)':>11} {'recompute (s)':>14} "
+        f"{'speedup':>9} {'engine q/s':>12}",
+        "-" * 76,
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['query']:<16} {row['n_queries']:>8} {row['engine_seconds']:>11.6f} "
+            f"{row['recompute_seconds']:>14.3f} {row['speedup']:>8.0f}x "
+            f"{row['engine_qps']:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_query_engine(benchmark, bench_scale, tmp_path):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_query_engine, scale=bench_scale)
+    (tmp_path / DEFAULT_JSON).write_text(json.dumps(report, indent=2))
+    # The acceptance headline: serving beats recomputing by 10x everywhere.
+    assert report["summary"]["min_speedup"] >= 10.0
+    print()
+    print(format_query_engine(report))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default=DEFAULT_DATASET)
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--theta", type=float, default=DEFAULT_THETA)
+    parser.add_argument("--max-seeds", type=int, default=200)
+    parser.add_argument(
+        "--json", default=DEFAULT_JSON, metavar="PATH",
+        help=f"write the machine-readable report here (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the engine is at least X times faster than "
+             "recompute on every workload (CI acceptance gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_query_engine(
+        dataset=args.dataset, scale=args.scale, theta=args.theta, max_seeds=args.max_seeds
+    )
+    Path(args.json).write_text(json.dumps(report, indent=2))
+    print(format_query_engine(report))
+    summary = report["summary"]
+    print(
+        f"\nmin speedup {summary['min_speedup']:.0f}x · "
+        f"geomean {summary['geomean_speedup']:.0f}x · "
+        f"max {summary['max_speedup']:.0f}x · report -> {args.json}"
+    )
+
+    if args.min_speedup is not None:
+        offenders = [r for r in report["rows"] if r["speedup"] < args.min_speedup]
+        if offenders:
+            for row in offenders:
+                print(
+                    f"GATE FAILURE: {row['query']} engine speedup "
+                    f"{row['speedup']:.1f}x is below the required "
+                    f"{args.min_speedup:.1f}x",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
+            "repro-index=repro.cli:main",
         ],
     },
     classifiers=[

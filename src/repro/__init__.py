@@ -16,6 +16,9 @@ The package is organised as:
 * :mod:`repro.sampling` — Monte-Carlo estimation and network reliability.
 * :mod:`repro.hardness` — executable versions of the hardness reductions.
 * :mod:`repro.metrics` — probabilistic density and clustering coefficient.
+* :mod:`repro.index` / :mod:`repro.query` — the serve-time subsystem:
+  persistent nucleus indexes (``build_index`` → ``save``/``load``) and the
+  community-search query engine answering from them.
 * :mod:`repro.experiments` — the harness that regenerates every table and
   figure of the paper's evaluation.
 
@@ -56,10 +59,12 @@ from repro.graph import (
     sample_world,
     write_edge_list,
 )
+from repro.index import NucleusIndex, build_index, graph_fingerprint, load_index
 from repro.metrics import (
     probabilistic_clustering_coefficient,
     probabilistic_density,
 )
+from repro.query import NucleusQueryEngine
 
 __version__ = "1.0.0"
 
@@ -87,4 +92,9 @@ __all__ = [
     "probabilistic_truss_decomposition",
     "probabilistic_density",
     "probabilistic_clustering_coefficient",
+    "NucleusIndex",
+    "NucleusQueryEngine",
+    "build_index",
+    "load_index",
+    "graph_fingerprint",
 ]

@@ -8,12 +8,17 @@ nucleus score, per-``k`` summaries — without re-running the peeling.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
-from repro.deterministic.cliques import Triangle
+from repro.deterministic.cliques import Triangle, canonical_triangle
 from repro.deterministic.nucleus import k_nucleus_triangle_groups, triangles_to_edge_subgraph
-from repro.exceptions import InvalidParameterError
-from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.exceptions import (
+    InvalidParameterError,
+    TriangleNotFoundError,
+    VertexNotFoundError,
+)
+from repro.graph.probabilistic_graph import ProbabilisticGraph, Vertex
 
 __all__ = ["LocalNucleusDecomposition", "ProbabilisticNucleus"]
 
@@ -42,6 +47,25 @@ class ProbabilisticNucleus:
     def num_edges(self) -> int:
         """Number of edges of the nucleus subgraph."""
         return self.subgraph.num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the vertices of the nucleus subgraph."""
+        return self.subgraph.vertices()
+
+    def __len__(self) -> int:
+        """The number of vertices of the nucleus."""
+        return self.num_vertices
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        """Return ``True`` when ``vertex`` belongs to the nucleus subgraph."""
+        try:
+            return vertex in self.subgraph
+        except TypeError:  # unhashable probe can never be a vertex
+            return False
+
+    def __iter__(self) -> Iterator[Vertex]:
+        """Iterate over the vertices of the nucleus (same order as :meth:`vertices`)."""
+        return iter(self.subgraph)
 
     def __repr__(self) -> str:
         return (
@@ -104,6 +128,33 @@ class LocalNucleusDecomposition:
         """Return the triangles whose nucleus score is at least ``k``."""
         return {t for t, score in self.scores.items() if score >= k}
 
+    def score_of(self, u: Vertex, v: Vertex, w: Vertex) -> int:
+        """Return the nucleus score ν of the triangle ``{u, v, w}``.
+
+        The vertices may be given in any order.  Raises
+        :class:`~repro.exceptions.TriangleNotFoundError` (not a bare
+        ``KeyError``) when the triangle was never scored.
+        """
+        triangle = canonical_triangle(u, v, w)
+        try:
+            return self.scores[triangle]
+        except KeyError:
+            raise TriangleNotFoundError(triangle) from None
+
+    def max_score_of(self, vertex: Vertex) -> int:
+        """Return the maximum nucleus score over the triangles containing ``vertex``.
+
+        ``-1`` when the vertex lies in no scored triangle.  Unknown vertices
+        raise :class:`~repro.exceptions.VertexNotFoundError` (not a bare
+        ``KeyError``).
+        """
+        if not self.graph.has_vertex(vertex):
+            raise VertexNotFoundError(vertex)
+        return max(
+            (score for triangle, score in self.scores.items() if vertex in triangle),
+            default=-1,
+        )
+
     def score_histogram(self) -> dict[int, int]:
         """Return ``{score: number of triangles with that score}``."""
         histogram: dict[int, int] = {}
@@ -157,6 +208,17 @@ class LocalNucleusDecomposition:
         if self.max_score < 0:
             return []
         return self.nuclei(self.max_score)
+
+    def build_index(self):
+        """Snapshot this decomposition into a persistent serve-time index.
+
+        Returns a :class:`repro.index.NucleusIndex` covering every level
+        ``0 … max_score``; see :mod:`repro.index` for ``save()``/``load()``
+        and :mod:`repro.query` for the query engine.
+        """
+        from repro.index.nucleus_index import NucleusIndex
+
+        return NucleusIndex.from_local_result(self)
 
     def __repr__(self) -> str:
         return (

@@ -50,12 +50,54 @@ class InvalidProbabilityError(GraphError, ValueError):
         self.value = value
 
 
+class TriangleNotFoundError(GraphError, KeyError):
+    """Raised when a query references a triangle that was never scored."""
+
+    def __init__(self, triangle: object) -> None:
+        super().__init__(f"triangle {triangle!r} was not scored by the decomposition")
+        self.triangle = triangle
+
+
 class InvalidParameterError(ReproError, ValueError):
     """Raised when an algorithm parameter is outside its valid domain.
 
     Examples include a negative ``k``, a threshold ``theta`` outside
     ``[0, 1]``, or a non-positive Monte-Carlo sample count.
     """
+
+
+class IndexingError(ReproError):
+    """Base class for errors of the serve-time subsystem (:mod:`repro.index`,
+    :mod:`repro.query`)."""
+
+
+class IndexFormatError(IndexingError, ValueError):
+    """Raised when an index file is corrupted, truncated, or has an
+    unsupported format version, or when a graph cannot be indexed (for
+    example because its vertex labels are not JSON-serialisable)."""
+
+
+class IndexCompatibilityError(IndexingError):
+    """Raised when a loaded index does not match the graph or parameters it
+    is being used with (fingerprint mismatch)."""
+
+
+class LevelNotIndexedError(IndexingError, KeyError):
+    """Raised when a query asks for a ``k`` level the index does not store.
+
+    Local indexes store every level ``0 … max_score``; global and
+    weakly-global indexes store only the single ``k`` they were built at.
+    """
+
+    def __init__(self, k: object, levels: tuple = ()) -> None:
+        super().__init__(f"level k={k!r} is not indexed (available levels: {list(levels)})")
+        self.k = k
+        self.levels = tuple(levels)
+
+
+class NucleusNotFoundError(IndexingError, LookupError):
+    """Raised when no nucleus satisfies a membership query (for example no
+    indexed nucleus contains all the seed vertices at the requested level)."""
 
 
 class GraphFormatError(ReproError, ValueError):

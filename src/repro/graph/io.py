@@ -17,6 +17,7 @@ ljournal-2008 before synthetic probabilities are attached.
 
 from __future__ import annotations
 
+import gzip
 import random
 from collections.abc import Callable
 from pathlib import Path
@@ -28,6 +29,7 @@ __all__ = [
     "read_edge_list",
     "write_edge_list",
     "parse_edge_line",
+    "parse_vertex",
     "attach_uniform_probabilities",
     "attach_probabilities",
 ]
@@ -48,8 +50,8 @@ def parse_edge_line(line: str, line_number: int | None = None) -> tuple[Vertex, 
             f"expected 2 or 3 whitespace-separated fields, got {len(fields)}",
             line_number,
         )
-    u: Vertex = _parse_vertex(fields[0])
-    v: Vertex = _parse_vertex(fields[1])
+    u: Vertex = parse_vertex(fields[0])
+    v: Vertex = parse_vertex(fields[1])
     if len(fields) == 2:
         return u, v, 1.0
     try:
@@ -61,11 +63,28 @@ def parse_edge_line(line: str, line_number: int | None = None) -> tuple[Vertex, 
     return u, v, probability
 
 
-def _parse_vertex(token: str) -> Vertex:
+def parse_vertex(token: str) -> Vertex:
+    """Interpret one vertex token: an ``int`` when possible, the string otherwise.
+
+    This is the single point deciding how textual vertex labels (edge-list
+    files, CLI arguments) map to graph labels, so every consumer agrees.
+    """
     try:
         return int(token)
     except ValueError:
         return token
+
+
+def _open_edge_list(path: Path, mode: str):
+    """Open an edge-list file for text I/O, transparently handling ``.gz`` paths.
+
+    Real-world dataset dumps (SNAP, LAW, biomine, ...) usually ship
+    gzip-compressed; accepting the ``.gz`` suffix directly lets them be
+    loaded and written without an unpack step.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 def read_edge_list(path: str | Path, skip_self_loops: bool = True) -> ProbabilisticGraph:
@@ -74,7 +93,9 @@ def read_edge_list(path: str | Path, skip_self_loops: bool = True) -> Probabilis
     Parameters
     ----------
     path:
-        Path to the file.
+        Path to the file.  A ``.gz`` suffix is read through gzip
+        transparently, so compressed real-world dumps load without
+        unpacking.
     skip_self_loops:
         When ``True`` (default) self-loop lines are silently dropped, which is
         how the paper's pipelines treat raw network dumps.  When ``False`` a
@@ -82,7 +103,7 @@ def read_edge_list(path: str | Path, skip_self_loops: bool = True) -> Probabilis
     """
     graph = ProbabilisticGraph()
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
+    with _open_edge_list(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             parsed = parse_edge_line(line, line_number)
             if parsed is None:
@@ -109,13 +130,14 @@ def write_edge_list(graph: ProbabilisticGraph, path: str | Path,
     graph:
         The graph to serialise.
     path:
-        Destination path (parent directories must exist).
+        Destination path (parent directories must exist).  A ``.gz`` suffix
+        writes through gzip, mirroring :func:`read_edge_list`.
     include_probabilities:
         When ``False`` only the two endpoint columns are written, producing a
         deterministic edge list.
     """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with _open_edge_list(path, "w") as handle:
         handle.write("# u v probability\n" if include_probabilities else "# u v\n")
         for u, v, p in sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1]))):
             if include_probabilities:

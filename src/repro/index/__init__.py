@@ -1,0 +1,35 @@
+"""Persistent nucleus indexes (the build side of the serve-time subsystem).
+
+Build the expensive decomposition once, snapshot it into a
+:class:`NucleusIndex`, persist it with ``save()``, and answer many cheap
+queries against it from any process via
+:class:`repro.query.NucleusQueryEngine`:
+
+>>> from repro.graph.generators import clique_graph
+>>> from repro.index import build_index
+>>> index = build_index(clique_graph(5, probability=0.9), mode="local", theta=0.3)
+>>> index.mode, index.num_triangles
+('local', 10)
+"""
+
+from repro.index.builders import (
+    build_global_index,
+    build_index,
+    build_local_index,
+    build_weak_index,
+    load_index,
+)
+from repro.index.fingerprint import graph_fingerprint
+from repro.index.nucleus_index import FORMAT_NAME, FORMAT_VERSION, NucleusIndex
+
+__all__ = [
+    "NucleusIndex",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "graph_fingerprint",
+    "build_index",
+    "build_local_index",
+    "build_global_index",
+    "build_weak_index",
+    "load_index",
+]

@@ -1,0 +1,130 @@
+"""Build-once helpers: run a decomposition and snapshot it into an index.
+
+These are the wiring between the three decomposition entry points of
+:mod:`repro.core` and the persistent :class:`~repro.index.NucleusIndex`:
+
+* :func:`build_local_index` — ``local_nucleus_decomposition`` → index with
+  every level ``0 … max_score``;
+* :func:`build_global_index` / :func:`build_weak_index` — Algorithm 2 / 3 at
+  one ``k`` → index with that single level;
+* :func:`build_index` — mode-dispatching convenience used by the
+  ``repro-index`` CLI.
+
+``LocalNucleusDecomposition.build_index()`` offers the same snapshot directly
+on an already-computed result object.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.approximations import SupportEstimator
+from repro.core.global_nucleus import global_nucleus_decomposition
+from repro.core.local import local_nucleus_decomposition
+from repro.core.result import LocalNucleusDecomposition
+from repro.core.weak_nucleus import weak_nucleus_decomposition
+from repro.exceptions import InvalidParameterError
+from repro.graph.csr import CSRProbabilisticGraph
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.index.nucleus_index import NucleusIndex
+
+__all__ = [
+    "build_index",
+    "build_local_index",
+    "build_global_index",
+    "build_weak_index",
+    "load_index",
+]
+
+load_index = NucleusIndex.load
+
+
+def build_local_index(
+    graph: ProbabilisticGraph | CSRProbabilisticGraph,
+    theta: float,
+    estimator: SupportEstimator | None = None,
+    backend: str = "dict",
+    local_result: LocalNucleusDecomposition | None = None,
+) -> NucleusIndex:
+    """Run the local decomposition (unless ``local_result`` is given) and index it."""
+    if local_result is None:
+        local_result = local_nucleus_decomposition(
+            graph, theta, estimator=estimator, backend=backend
+        )
+    return NucleusIndex.from_local_result(local_result, params={"backend": backend})
+
+
+def build_global_index(
+    graph: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    backend: str = "dict",
+    n_samples: int | None = None,
+    rng: random.Random | np.random.Generator | None = None,
+    seed: int | None = None,
+    **kwargs,
+) -> NucleusIndex:
+    """Run the global decomposition at ``k`` and index the verified nuclei."""
+    nuclei = global_nucleus_decomposition(
+        graph, k, theta, backend=backend, n_samples=n_samples, rng=rng, seed=seed, **kwargs
+    )
+    return NucleusIndex.from_nuclei(
+        graph,
+        nuclei,
+        k=k,
+        theta=theta,
+        mode="global",
+        params={"k": k, "backend": backend, "n_samples": n_samples, "seed": seed},
+    )
+
+
+def build_weak_index(
+    graph: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    backend: str = "dict",
+    n_samples: int | None = None,
+    rng: random.Random | np.random.Generator | None = None,
+    seed: int | None = None,
+    **kwargs,
+) -> NucleusIndex:
+    """Run the weakly-global decomposition at ``k`` and index the resulting nuclei."""
+    nuclei = weak_nucleus_decomposition(
+        graph, k, theta, backend=backend, n_samples=n_samples, rng=rng, seed=seed, **kwargs
+    )
+    return NucleusIndex.from_nuclei(
+        graph,
+        nuclei,
+        k=k,
+        theta=theta,
+        mode="weakly-global",
+        params={"k": k, "backend": backend, "n_samples": n_samples, "seed": seed},
+    )
+
+
+def build_index(
+    graph: ProbabilisticGraph | CSRProbabilisticGraph,
+    mode: str = "local",
+    theta: float = 0.3,
+    k: int | None = None,
+    **kwargs,
+) -> NucleusIndex:
+    """Build a :class:`NucleusIndex` for any of the three decomposition modes.
+
+    ``mode="local"`` ignores ``k`` (all levels are indexed); ``"global"`` and
+    ``"weak"``/``"weakly-global"`` require it.  Remaining keyword arguments
+    are forwarded to the underlying decomposition entry point.
+    """
+    if mode == "local":
+        return build_local_index(graph, theta, **kwargs)
+    if mode in ("global", "weak", "weakly-global"):
+        if k is None:
+            raise InvalidParameterError(f"mode {mode!r} requires an explicit k")
+        if isinstance(graph, CSRProbabilisticGraph):
+            graph = graph.to_probabilistic()
+        if mode == "global":
+            return build_global_index(graph, k, theta, **kwargs)
+        return build_weak_index(graph, k, theta, **kwargs)
+    raise InvalidParameterError(f'mode must be "local", "global" or "weak", got {mode!r}')

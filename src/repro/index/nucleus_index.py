@@ -1,0 +1,599 @@
+"""Persistent nucleus index: a flat-array snapshot of a decomposition.
+
+Computing a probabilistic nucleus decomposition is expensive (peeling plus,
+for the global/weakly-global models, Monte-Carlo verification); answering
+questions about the result — which nucleus contains this vertex, what is its
+maximum nucleus score, which nuclei are densest — is cheap *if* the result
+survives the process that computed it.  :class:`NucleusIndex` is that
+survival format: it snapshots a decomposition together with its graph into
+flat numpy arrays, persists losslessly to a single ``.npz`` file, and is the
+substrate the serve-time query engine
+(:class:`repro.query.NucleusQueryEngine`) answers from.
+
+File format (version 1)
+-----------------------
+One ``.npz`` archive.  The entry ``__header__`` holds a JSON document with
+the format name/version, decomposition metadata (``mode``, ``theta``,
+``params``), the :func:`~repro.index.fingerprint.graph_fingerprint` of the
+source graph, and the original vertex labels (restricted to JSON-exact
+``int``/``str`` labels so the round trip is lossless).  Every other entry is
+an ``int64``/``float64`` array in CSR-id space:
+
+========================  =====================================================
+``indptr/indices/probabilities``  the graph's CSR adjacency (lossless)
+``triangles``             ``(T, 3)`` vertex ids, rows sorted lexicographically
+``triangle_scores``       per-triangle nucleus score ν (``-1`` = below θ)
+``levels``                the ``k`` values with indexed components
+``comp_level``            level of each nucleus component
+``comp_indptr/comp_triangles``  CSR postings: triangle members per component
+``comp_n_vertices/comp_n_edges/comp_max_score``  per-component summaries
+``comp_sum_edge_prob/comp_log_reliability``      per-component rank keys
+``vertex_max_score``      max ν over the triangles containing each vertex
+``edge_u/edge_v/edge_prob/edge_max_score``       per-edge records
+``triangle_order/vertex_order/edge_order``       rank-sorted postings
+========================  =====================================================
+
+Indexes are *immutable snapshots*: build once with
+:func:`repro.index.builders.build_index` (or the ``from_*`` constructors
+below), ``save()``, and serve arbitrarily many queries from ``load()``-ed
+copies in other processes.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
+from repro.exceptions import IndexCompatibilityError, IndexFormatError, InvalidParameterError
+from repro.graph.csr import CSRProbabilisticGraph
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.index.fingerprint import graph_fingerprint
+
+__all__ = ["NucleusIndex", "FORMAT_NAME", "FORMAT_VERSION"]
+
+FORMAT_NAME = "repro-nucleus-index"
+FORMAT_VERSION = 1
+
+#: Key of the JSON header entry inside the ``.npz`` archive.
+_HEADER_KEY = "__header__"
+
+#: Every array entry of the format, with its expected dtype kind.
+_ARRAY_SPECS: dict[str, str] = {
+    "indptr": "i",
+    "indices": "i",
+    "probabilities": "f",
+    "triangles": "i",
+    "triangle_scores": "i",
+    "levels": "i",
+    "comp_level": "i",
+    "comp_indptr": "i",
+    "comp_triangles": "i",
+    "comp_n_vertices": "i",
+    "comp_n_edges": "i",
+    "comp_max_score": "i",
+    "comp_sum_edge_prob": "f",
+    "comp_log_reliability": "f",
+    "vertex_max_score": "i",
+    "edge_u": "i",
+    "edge_v": "i",
+    "edge_prob": "f",
+    "edge_max_score": "i",
+    "triangle_order": "i",
+    "vertex_order": "i",
+    "edge_order": "i",
+}
+
+_MODES = ("local", "global", "weakly-global")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise IndexFormatError(message)
+
+
+def _json_safe_labels(labels: list) -> list:
+    """Validate that vertex labels round-trip exactly through JSON."""
+    for label in labels:
+        if not isinstance(label, (int, str)) or isinstance(label, bool):
+            raise IndexFormatError(
+                f"vertex label {label!r} is not indexable: only int and str labels "
+                "survive the JSON header losslessly"
+            )
+    return list(labels)
+
+
+class NucleusIndex:
+    """An immutable, persistable snapshot of one nucleus decomposition.
+
+    Instances are built with :meth:`from_local_result` /
+    :meth:`from_nuclei` (or :func:`repro.index.builders.build_index`) and
+    round-trip through :meth:`save` / :meth:`load` bit-identically.  The
+    raw constructor accepts a prebuilt header and array dict and validates
+    the format invariants.
+    """
+
+    def __init__(self, header: dict, arrays: dict[str, np.ndarray]) -> None:
+        _require(header.get("format") == FORMAT_NAME, "not a repro nucleus index header")
+        _require(
+            header.get("format_version") == FORMAT_VERSION,
+            f"unsupported index format version {header.get('format_version')!r} "
+            f"(this build reads version {FORMAT_VERSION})",
+        )
+        _require(header.get("mode") in _MODES, f"unknown mode {header.get('mode')!r}")
+        _require(isinstance(header.get("vertex_labels"), list), "missing vertex labels")
+        missing = sorted(set(_ARRAY_SPECS) - set(arrays))
+        _require(not missing, f"index is missing array entries: {missing}")
+        self.header = dict(header)
+        self.arrays = {
+            name: np.ascontiguousarray(
+                arrays[name], dtype=np.int64 if kind == "i" else np.float64
+            )
+            for name, kind in _ARRAY_SPECS.items()
+        }
+        self._validate_shapes()
+        self._graph_cache: ProbabilisticGraph | None = None
+
+    def _validate_shapes(self) -> None:
+        a = self.arrays
+        n = len(self.vertex_labels)
+        _require(a["indptr"].shape == (n + 1,), "indptr length must be num_vertices + 1")
+        nnz = a["indices"].size
+        _require(a["probabilities"].shape == (nnz,), "probabilities must parallel indices")
+        _require(
+            a["indptr"].size > 0 and a["indptr"][0] == 0 and a["indptr"][-1] == nnz,
+            "indptr must start at 0 and end at len(indices)",
+        )
+        t = a["triangles"]
+        _require(t.ndim == 2 and t.shape[1] == 3, "triangles must be a (T, 3) array")
+        _require(a["triangle_scores"].shape == (t.shape[0],), "one score per triangle")
+        _require(a["triangle_order"].shape == (t.shape[0],), "one rank entry per triangle")
+        c = a["comp_level"].size
+        for name in (
+            "comp_n_vertices",
+            "comp_n_edges",
+            "comp_max_score",
+            "comp_sum_edge_prob",
+            "comp_log_reliability",
+        ):
+            _require(a[name].shape == (c,), f"{name} must have one entry per component")
+        _require(a["comp_indptr"].shape == (c + 1,), "comp_indptr length must be C + 1")
+        _require(
+            c == 0
+            or (
+                a["comp_indptr"][0] == 0
+                and a["comp_indptr"][-1] == a["comp_triangles"].size
+                and np.all(np.diff(a["comp_indptr"]) >= 0)
+            ),
+            "comp_indptr must be a valid postings offset array",
+        )
+        _require(a["vertex_max_score"].shape == (n,), "one max-score entry per vertex")
+        _require(a["vertex_order"].shape == (n,), "one rank entry per vertex")
+        m = a["edge_u"].size
+        for name in ("edge_v", "edge_prob", "edge_max_score", "edge_order"):
+            _require(a[name].shape == (m,), f"{name} must have one entry per edge")
+        _require(2 * m == nnz, "edge arrays must cover every undirected CSR edge")
+
+    # ------------------------------------------------------------------ #
+    # header accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> str:
+        """Decomposition mode: ``"local"``, ``"global"`` or ``"weakly-global"``."""
+        return self.header["mode"]
+
+    @property
+    def theta(self) -> float:
+        """The probability threshold θ the decomposition was computed at."""
+        return self.header["theta"]
+
+    @property
+    def params(self) -> dict:
+        """Extra build parameters recorded by the builder (estimator, k, ...)."""
+        return dict(self.header.get("params", {}))
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 fingerprint of the source graph (see :mod:`repro.index.fingerprint`)."""
+        return self.header["fingerprint"]
+
+    @property
+    def vertex_labels(self) -> list:
+        """Original vertex label of every CSR id (``vertex_labels[i]`` ↔ id ``i``)."""
+        return self.header["vertex_labels"]
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """The ``k`` values for which nucleus components are indexed."""
+        return tuple(int(k) for k in self.arrays["levels"].tolist())
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the snapshotted graph."""
+        return len(self.vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges of the snapshotted graph."""
+        return int(self.arrays["edge_u"].size)
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of scored triangles."""
+        return int(self.arrays["triangles"].shape[0])
+
+    @property
+    def num_components(self) -> int:
+        """Total number of indexed nucleus components across all levels."""
+        return int(self.arrays["comp_level"].size)
+
+    def describe(self) -> dict:
+        """Return a JSON-able summary of the index (used by ``repro-index info``)."""
+        return {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "mode": self.mode,
+            "theta": self.theta,
+            "params": self.params,
+            "fingerprint": self.fingerprint,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_triangles": self.num_triangles,
+            "levels": list(self.levels),
+            "num_components": self.num_components,
+        }
+
+    # ------------------------------------------------------------------ #
+    # graph reconstruction / compatibility
+    # ------------------------------------------------------------------ #
+    def to_csr_graph(self) -> CSRProbabilisticGraph:
+        """Reconstruct the snapshotted graph as a :class:`CSRProbabilisticGraph`."""
+        a = self.arrays
+        return CSRProbabilisticGraph(
+            a["indptr"], a["indices"], a["probabilities"], self.vertex_labels
+        )
+
+    def to_probabilistic_graph(self) -> ProbabilisticGraph:
+        """Reconstruct the snapshotted graph in dict-of-dicts form (cached)."""
+        if self._graph_cache is None:
+            self._graph_cache = self.to_csr_graph().to_probabilistic()
+        return self._graph_cache
+
+    def verify_against(self, graph: ProbabilisticGraph | CSRProbabilisticGraph) -> None:
+        """Raise :class:`IndexCompatibilityError` unless ``graph`` matches the snapshot."""
+        live = graph_fingerprint(graph)
+        if live != self.fingerprint:
+            raise IndexCompatibilityError(
+                f"index fingerprint {self.fingerprint[:12]}… does not match the live "
+                f"graph ({live[:12]}…): the graph changed since the index was built"
+            )
+
+    # ------------------------------------------------------------------ #
+    # component accessors (used by the query engine)
+    # ------------------------------------------------------------------ #
+    def components_at_level(self, k: int) -> np.ndarray:
+        """Return the component indices stored for level ``k`` (ascending)."""
+        return np.flatnonzero(self.arrays["comp_level"] == k)
+
+    def component_triangle_positions(self, component: int) -> np.ndarray:
+        """Return the triangle positions of one component (ascending)."""
+        start = int(self.arrays["comp_indptr"][component])
+        stop = int(self.arrays["comp_indptr"][component + 1])
+        return self.arrays["comp_triangles"][start:stop]
+
+    def component_nucleus(self, component: int) -> ProbabilisticNucleus:
+        """Materialise one indexed component as a :class:`ProbabilisticNucleus`.
+
+        The reconstruction is exact: the triangles and the edge-induced
+        subgraph (with original probabilities) equal what the decomposition's
+        own result objects produce for the same component.
+        """
+        labels = self.vertex_labels
+        rows = self.arrays["triangles"][self.component_triangle_positions(component)]
+        triangles = frozenset(
+            (labels[int(u)], labels[int(v)], labels[int(w)]) for u, v, w in rows
+        )
+        graph = self.to_probabilistic_graph()
+        subgraph = ProbabilisticGraph()
+        for u, v, w in triangles:
+            for x, y in ((u, v), (u, w), (v, w)):
+                if not subgraph.has_edge(x, y):
+                    subgraph.add_edge(x, y, graph.edge_probability(x, y))
+        return ProbabilisticNucleus(
+            k=int(self.arrays["comp_level"][component]),
+            theta=self.theta,
+            mode=self.mode,
+            subgraph=subgraph,
+            triangles=triangles,
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction from decomposition results
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_local_result(
+        cls, result: LocalNucleusDecomposition, params: dict | None = None
+    ) -> "NucleusIndex":
+        """Snapshot a :class:`LocalNucleusDecomposition` (every level 0…max_score)."""
+        csr = result.graph.to_csr()
+        id_of = {label: i for i, label in enumerate(csr.vertex_labels)}
+        items = [
+            (tuple(sorted((id_of[u], id_of[v], id_of[w]))), score)
+            for (u, v, w), score in result.scores.items()
+        ]
+        items.sort()
+        rows = np.array([t for t, _ in items], dtype=np.int64).reshape(len(items), 3)
+        scores = np.array([s for _, s in items], dtype=np.int64)
+        position = {t: i for i, (t, _) in enumerate(items)}
+
+        level_groups: dict[int, list[list[int]]] = {}
+        for k in range(0, result.max_score + 1):
+            groups = []
+            for nucleus in result.nuclei(k):
+                members = sorted(
+                    position[tuple(sorted((id_of[u], id_of[v], id_of[w])))]
+                    for u, v, w in nucleus.triangles
+                )
+                groups.append(members)
+            level_groups[k] = sorted(groups)
+
+        merged = {"estimator": result.estimator_name}
+        merged.update(params or {})
+        return cls._build(csr, rows, scores, level_groups, "local", result.theta, merged)
+
+    @classmethod
+    def from_nuclei(
+        cls,
+        graph: ProbabilisticGraph | CSRProbabilisticGraph,
+        nuclei: list[ProbabilisticNucleus],
+        *,
+        k: int,
+        theta: float,
+        mode: str,
+        params: dict | None = None,
+    ) -> "NucleusIndex":
+        """Snapshot a global / weakly-global decomposition (a nucleus list at one ``k``).
+
+        The whole graph is snapshotted (so fingerprints match the input
+        graph); the single level ``k`` carries one component per nucleus.
+        Triangles of the nuclei are recorded with score ``k`` — the level
+        they were certified at.
+        """
+        if mode not in ("global", "weakly-global"):
+            raise InvalidParameterError(
+                f'mode must be "global" or "weakly-global", got {mode!r}'
+            )
+        if k < 0:
+            raise InvalidParameterError(f"k must be non-negative, got {k}")
+        csr = graph if isinstance(graph, CSRProbabilisticGraph) else graph.to_csr()
+        id_of = {label: i for i, label in enumerate(csr.vertex_labels)}
+        triangle_set: set[tuple[int, int, int]] = set()
+        for nucleus in nuclei:
+            for u, v, w in nucleus.triangles:
+                triangle_set.add(tuple(sorted((id_of[u], id_of[v], id_of[w]))))
+        ordered = sorted(triangle_set)
+        rows = np.array(ordered, dtype=np.int64).reshape(len(ordered), 3)
+        scores = np.full(len(ordered), k, dtype=np.int64)
+        position = {t: i for i, t in enumerate(ordered)}
+        groups = sorted(
+            sorted(
+                position[tuple(sorted((id_of[u], id_of[v], id_of[w])))]
+                for u, v, w in nucleus.triangles
+            )
+            for nucleus in nuclei
+        )
+        # The level is indexed even when the decomposition found nothing, so
+        # the engine answers "no nuclei at this k" instead of "k not indexed".
+        level_groups = {k: groups}
+        return cls._build(csr, rows, scores, level_groups, mode, theta, dict(params or {}))
+
+    @classmethod
+    def _build(
+        cls,
+        csr: CSRProbabilisticGraph,
+        triangle_rows: np.ndarray,
+        triangle_scores: np.ndarray,
+        level_groups: dict[int, list[list[int]]],
+        mode: str,
+        theta: float,
+        params: dict,
+    ) -> "NucleusIndex":
+        """Assemble the flat arrays from id-space triangles and component groups."""
+        n = csr.num_vertices
+        labels = _json_safe_labels(csr.vertex_labels)
+        t_count = triangle_rows.shape[0]
+
+        # Undirected edge records, ordered by (u, v): because CSR rows are
+        # sorted, masking the upper-triangular copies yields sorted keys.
+        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+        upper = csr.indices > row_of
+        edge_u = row_of[upper]
+        edge_v = csr.indices[upper]
+        edge_prob = csr.probabilities[upper]
+        edge_keys = edge_u * n + edge_v
+
+        vertex_max_score = np.full(n, -1, dtype=np.int64)
+        edge_max_score = np.full(edge_u.size, -1, dtype=np.int64)
+        if t_count:
+            np.maximum.at(
+                vertex_max_score, triangle_rows.ravel(), np.repeat(triangle_scores, 3)
+            )
+            tri_edge_keys = np.concatenate(
+                [
+                    triangle_rows[:, 0] * n + triangle_rows[:, 1],
+                    triangle_rows[:, 0] * n + triangle_rows[:, 2],
+                    triangle_rows[:, 1] * n + triangle_rows[:, 2],
+                ]
+            )
+            tri_edge_pos = np.searchsorted(edge_keys, tri_edge_keys)
+            np.maximum.at(edge_max_score, tri_edge_pos, np.tile(triangle_scores, 3))
+
+        levels = np.array(sorted(level_groups), dtype=np.int64)
+        comp_level: list[int] = []
+        comp_members: list[list[int]] = []
+        for k in levels.tolist():
+            for members in level_groups[k]:
+                comp_level.append(k)
+                comp_members.append(members)
+        c_count = len(comp_members)
+        comp_indptr = np.zeros(c_count + 1, dtype=np.int64)
+        sizes = np.array([len(m) for m in comp_members], dtype=np.int64)
+        np.cumsum(sizes, out=comp_indptr[1:])
+        comp_triangles = np.array(
+            [p for members in comp_members for p in members], dtype=np.int64
+        )
+        comp_n_vertices = np.zeros(c_count, dtype=np.int64)
+        comp_n_edges = np.zeros(c_count, dtype=np.int64)
+        comp_max_score = np.zeros(c_count, dtype=np.int64)
+        comp_sum_edge_prob = np.zeros(c_count, dtype=np.float64)
+        comp_log_reliability = np.zeros(c_count, dtype=np.float64)
+        for i, members in enumerate(comp_members):
+            rows = triangle_rows[np.asarray(members, dtype=np.int64)]
+            comp_n_vertices[i] = np.unique(rows.ravel()).size
+            keys = np.unique(
+                np.concatenate(
+                    [
+                        rows[:, 0] * n + rows[:, 1],
+                        rows[:, 0] * n + rows[:, 2],
+                        rows[:, 1] * n + rows[:, 2],
+                    ]
+                )
+            )
+            positions = np.searchsorted(edge_keys, keys)
+            probs = edge_prob[positions]
+            comp_n_edges[i] = keys.size
+            comp_sum_edge_prob[i] = float(probs.sum())
+            comp_log_reliability[i] = float(np.log(probs).sum())
+            comp_max_score[i] = int(triangle_scores[members].max())
+
+        header = {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "mode": mode,
+            "theta": float(theta),
+            "params": params,
+            "fingerprint": graph_fingerprint(csr),
+            "vertex_labels": labels,
+        }
+        arrays = {
+            "indptr": csr.indptr,
+            "indices": csr.indices,
+            "probabilities": csr.probabilities,
+            "triangles": triangle_rows.reshape(t_count, 3),
+            "triangle_scores": triangle_scores,
+            "levels": levels,
+            "comp_level": np.array(comp_level, dtype=np.int64),
+            "comp_indptr": comp_indptr,
+            "comp_triangles": comp_triangles,
+            "comp_n_vertices": comp_n_vertices,
+            "comp_n_edges": comp_n_edges,
+            "comp_max_score": comp_max_score,
+            "comp_sum_edge_prob": comp_sum_edge_prob,
+            "comp_log_reliability": comp_log_reliability,
+            "vertex_max_score": vertex_max_score,
+            "edge_u": edge_u,
+            "edge_v": edge_v,
+            "edge_prob": edge_prob,
+            "edge_max_score": edge_max_score,
+            "triangle_order": np.lexsort((np.arange(t_count), -triangle_scores)),
+            "vertex_order": np.lexsort((np.arange(n), -vertex_max_score)),
+            "edge_order": np.lexsort((np.arange(edge_u.size), -edge_max_score)),
+        }
+        return cls(header, arrays)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write the index to ``path`` as a single compressed ``.npz`` archive.
+
+        The write is lossless: :meth:`load` reconstructs a bit-identical
+        index (same header, same array contents and dtypes).  numpy appends
+        ``.npz`` to suffix-less paths, so the path is normalised first and
+        the returned path always names the file actually written.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = Path(str(path) + ".npz")
+        try:
+            header_json = json.dumps(self.header, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as exc:
+            raise IndexFormatError(f"index header is not JSON-serialisable: {exc}") from exc
+        payload = {_HEADER_KEY: np.array(header_json)}
+        payload.update(self.arrays)
+        np.savez_compressed(path, **payload)
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        graph: ProbabilisticGraph | CSRProbabilisticGraph | None = None,
+    ) -> "NucleusIndex":
+        """Read an index previously written by :meth:`save`.
+
+        Parameters
+        ----------
+        path:
+            The ``.npz`` file.
+        graph:
+            When given, the loaded fingerprint is checked against this live
+            graph and :class:`IndexCompatibilityError` is raised on mismatch,
+            so stale indexes cannot silently serve queries.
+
+        Raises
+        ------
+        IndexFormatError
+            If the file is not a readable index (corrupted archive, missing
+            entries, bad header, unsupported version).
+        """
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                try:
+                    header_json = str(data[_HEADER_KEY][()])
+                except KeyError:
+                    raise IndexFormatError(
+                        f"{path} is not a nucleus index (missing header entry)"
+                    ) from None
+                try:
+                    header = json.loads(header_json)
+                except json.JSONDecodeError as exc:
+                    raise IndexFormatError(f"{path} has a corrupted header: {exc}") from exc
+                try:
+                    arrays = {name: data[name] for name in _ARRAY_SPECS}
+                except KeyError as exc:
+                    raise IndexFormatError(
+                        f"{path} is missing array entry {exc.args[0]!r}"
+                    ) from None
+        except IndexFormatError:
+            raise
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+            raise IndexFormatError(f"{path} is not a readable index file: {exc}") from exc
+        index = cls(header, arrays)
+        if graph is not None:
+            index.verify_against(graph)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NucleusIndex):
+            return NotImplemented
+        return self.header == other.header and all(
+            np.array_equal(self.arrays[name], other.arrays[name])
+            and self.arrays[name].dtype == other.arrays[name].dtype
+            for name in _ARRAY_SPECS
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(mode={self.mode!r}, theta={self.theta}, "
+            f"vertices={self.num_vertices}, edges={self.num_edges}, "
+            f"triangles={self.num_triangles}, levels={list(self.levels)}, "
+            f"components={self.num_components})"
+        )

@@ -1,0 +1,19 @@
+"""Serve-time query engine (the read side of the serve-time subsystem).
+
+Pairs with :mod:`repro.index`: load a persisted :class:`~repro.index.NucleusIndex`
+and answer community-search queries — vertex max-score, seed-based nucleus
+membership, top-k nuclei — in microseconds, with batched variants and an LRU
+result cache.
+
+>>> from repro.graph.generators import clique_graph
+>>> from repro.index import build_index
+>>> from repro.query import NucleusQueryEngine
+>>> engine = NucleusQueryEngine(build_index(clique_graph(5), mode="local", theta=0.5))
+>>> engine.max_score(0)
+2
+"""
+
+from repro.query.cache import LRUCache
+from repro.query.engine import RANK_KEYS, NucleusQueryEngine
+
+__all__ = ["NucleusQueryEngine", "LRUCache", "RANK_KEYS"]

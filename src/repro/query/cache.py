@@ -1,0 +1,93 @@
+"""A small LRU cache for serve-time query results.
+
+The standard-library ``functools.lru_cache`` memoises per *function*, which
+is the wrong granularity for the query engine: cache entries must be keyed by
+the index fingerprint (so an engine rebuilt over a changed graph can never
+serve stale answers), must be inspectable (hit/miss counters feed the
+benchmark report), and must be clearable per engine instance.  This class is
+that cache: an ``OrderedDict`` in recency order with O(1) get/put.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["LRUCache"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping that evicts the least-recently-used entry on overflow.
+
+    >>> cache = LRUCache(maxsize=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)          # evicts "b", the least recently used
+    >>> cache.get("b") is None
+    True
+    >>> cache.stats()["evictions"]
+    1
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise InvalidParameterError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        """Return ``{size, maxsize, hits, misses, evictions}``."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={len(self._entries)}, maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,142 @@
+"""Tests for the ``repro-index`` command-line interface.
+
+The full surface (build / info / query, error handling) is exercised
+in-process through ``repro.cli.main`` so coverage sees it; the end-to-end
+console behaviour — real interpreter, real argv, real exit codes — is pinned
+by ``subprocess`` smoke tests on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import planted_nucleus_graph
+from repro.graph.io import write_edge_list
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory) -> Path:
+    graph = planted_nucleus_graph(
+        num_communities=2,
+        community_size=6,
+        intra_density=1.0,
+        background_vertices=8,
+        background_density=0.1,
+        bridges_per_community=2,
+        probability_model=lambda rng: 0.9,
+        seed=3,
+    )
+    path = tmp_path_factory.mktemp("cli") / "graph.txt.gz"
+    write_edge_list(graph, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def index_file(graph_file, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("cli-index") / "graph.idx.npz"
+    assert main(["build", str(graph_file), "-o", str(path), "--theta", "0.3"]) == 0
+    return path
+
+
+class TestMainInProcess:
+    def test_build_reports_summary(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "local.npz"
+        assert main(["build", str(graph_file), "-o", str(out), "--theta", "0.3"]) == 0
+        stdout = capsys.readouterr().out
+        assert "mode=local" in stdout and out.exists()
+
+    def test_build_weak_mode(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "weak.npz"
+        code = main(
+            ["build", str(graph_file), "-o", str(out), "--mode", "weak",
+             "--k", "1", "--theta", "0.3", "--seed", "7", "--n-samples", "30"]
+        )
+        assert code == 0
+        assert "mode=weakly-global" in capsys.readouterr().out
+
+    def test_info_json(self, index_file, capsys):
+        assert main(["info", str(index_file), "--json"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert description["mode"] == "local"
+        assert description["format"] == "repro-nucleus-index"
+
+    def test_info_plain(self, index_file, capsys):
+        assert main(["info", str(index_file)]) == 0
+        assert "fingerprint:" in capsys.readouterr().out
+
+    def test_query_max_score(self, index_file, capsys):
+        assert main(["query", str(index_file), "max-score", "0", "1", "14"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3 and lines[0].split("\t")[0] == "0"
+
+    def test_query_nucleus(self, index_file, capsys):
+        assert main(["query", str(index_file), "nucleus", "--k", "2", "0", "1"]) == 0
+        stdout = capsys.readouterr().out
+        assert "ProbabilisticNucleus" in stdout and "vertices:" in stdout
+
+    def test_query_top(self, index_file, capsys):
+        assert main(["query", str(index_file), "top", "--n", "2", "--by", "score"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 and lines[0].startswith("#1 ")
+
+    def test_unknown_vertex_is_a_clean_error(self, index_file, capsys):
+        assert main(["query", str(index_file), "max-score", "999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupted_index_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an index")
+        assert main(["info", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_global_mode_requires_k(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "nope.npz"
+        assert main(["build", str(graph_file), "-o", str(out), "--mode", "global"]) == 2
+        assert "requires an explicit k" in capsys.readouterr().err
+
+
+class TestConsoleScript:
+    """True end-to-end smoke tests through a child interpreter."""
+
+    def run_cli(self, *args: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_build_info_query_pipeline(self, graph_file, tmp_path):
+        index = tmp_path / "cli.idx.npz"
+        built = self.run_cli(
+            "build", str(graph_file), "-o", str(index), "--theta", "0.3"
+        )
+        assert built.returncode == 0, built.stderr
+        assert "mode=local" in built.stdout
+
+        info = self.run_cli("info", str(index), "--json")
+        assert info.returncode == 0, info.stderr
+        assert json.loads(info.stdout)["num_vertices"] == 16
+
+        query = self.run_cli("query", str(index), "nucleus", "--k", "2", "0")
+        assert query.returncode == 0, query.stderr
+        assert "vertices: 0 1 2 3 4 5" in query.stdout
+
+    def test_missing_subcommand_exits_nonzero(self):
+        result = self.run_cli()
+        assert result.returncode != 0
+        assert "usage" in (result.stderr + result.stdout).lower()

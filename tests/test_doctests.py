@@ -14,11 +14,19 @@ import pytest
 import repro
 import repro.graph.csr
 import repro.graph.probabilistic_graph
+import repro.index
+import repro.index.fingerprint
+import repro.query
+import repro.query.cache
 
 MODULES = [
     repro,
     repro.graph.csr,
     repro.graph.probabilistic_graph,
+    repro.index,
+    repro.index.fingerprint,
+    repro.query,
+    repro.query.cache,
 ]
 
 

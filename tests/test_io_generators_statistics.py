@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import gzip
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -28,6 +30,7 @@ from repro.graph.io import (
     read_edge_list,
     write_edge_list,
 )
+from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.graph.statistics import format_statistics_table, graph_statistics
 
 
@@ -78,6 +81,28 @@ class TestReadWrite:
         path.write_text("1 1 0.5\n")
         with pytest.raises(GraphFormatError):
             read_edge_list(path, skip_self_loops=False)
+
+    def test_gzip_round_trip(self, tmp_path, paper_figure1_graph):
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(paper_figure1_graph, path)
+        # The file really is gzip-compressed (magic bytes), not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_edge_list(path) == paper_figure1_graph
+
+    def test_gzip_reads_externally_compressed_file(self, tmp_path):
+        path = tmp_path / "external.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# u v p\n1 2 0.5\nalice bob 0.25\n")
+        graph = read_edge_list(path)
+        assert graph.edge_probability(1, 2) == 0.5
+        assert graph.edge_probability("alice", "bob") == 0.25
+
+    def test_gzip_probabilities_survive_exactly(self, tmp_path):
+        graph = ProbabilisticGraph([(1, 2, 1 / 3), (2, 3, 0.1 + 0.2)])
+        plain, packed = tmp_path / "g.txt", tmp_path / "g.txt.gz"
+        write_edge_list(graph, plain)
+        write_edge_list(graph, packed)
+        assert read_edge_list(packed) == read_edge_list(plain) == graph
 
     def test_attach_uniform_probabilities(self, triangle_graph):
         reassigned = attach_uniform_probabilities(triangle_graph, seed=1)

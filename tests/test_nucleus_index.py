@@ -1,0 +1,282 @@
+"""Tests for the persistent nucleus index (repro.index).
+
+Covers the save()/load() round trip over every bundled dataset analogue, the
+graph fingerprint, corrupted/mismatched file handling, and the index built
+from each of the three decomposition modes.
+"""
+
+from __future__ import annotations
+
+import functools
+import io
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.local import local_nucleus_decomposition
+from repro.core.weak_nucleus import weak_nucleus_decomposition
+from repro.exceptions import (
+    IndexCompatibilityError,
+    IndexFormatError,
+    InvalidParameterError,
+)
+from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.graph.generators import clique_graph, planted_nucleus_graph
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.index import (
+    NucleusIndex,
+    build_global_index,
+    build_index,
+    build_local_index,
+    build_weak_index,
+    graph_fingerprint,
+    load_index,
+)
+
+THETA = 0.3
+
+
+@functools.lru_cache(maxsize=None)
+def local_index_for(name: str) -> tuple[ProbabilisticGraph, NucleusIndex]:
+    graph = load_dataset(name, scale="tiny")
+    result = local_nucleus_decomposition(graph, THETA)
+    return graph, result.build_index()
+
+
+@pytest.fixture
+def planted() -> ProbabilisticGraph:
+    return planted_nucleus_graph(
+        num_communities=2,
+        community_size=6,
+        intra_density=1.0,
+        background_vertices=8,
+        background_density=0.1,
+        bridges_per_community=2,
+        probability_model=lambda rng: 0.9,
+        seed=3,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# fingerprint
+# --------------------------------------------------------------------------- #
+class TestFingerprint:
+    def test_insertion_order_invariant(self):
+        a = ProbabilisticGraph([(1, 2, 0.5), (2, 3, 0.25), (1, 3, 0.125)])
+        b = ProbabilisticGraph([(1, 3, 0.125), (2, 3, 0.25), (1, 2, 0.5)])
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_substrate_invariant(self):
+        graph = clique_graph(5, probability=0.7)
+        assert graph_fingerprint(graph) == graph_fingerprint(graph.to_csr())
+
+    def test_sensitive_to_probability_change(self):
+        a = ProbabilisticGraph([(1, 2, 0.5), (2, 3, 0.25)])
+        b = ProbabilisticGraph([(1, 2, 0.5), (2, 3, 0.250001)])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_sensitive_to_structure_change(self):
+        a = clique_graph(5, probability=0.7)
+        b = clique_graph(5, probability=0.7)
+        b.add_vertex(99)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+# --------------------------------------------------------------------------- #
+# round trip over every bundled generator
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_save_load_bit_identical(self, name, tmp_path):
+        graph, index = local_index_for(name)
+        path = index.save(tmp_path / f"{name}.npz")
+        loaded = load_index(path, graph=graph)
+        assert loaded == index
+        # A second generation of the cycle is also identical.
+        again = load_index(loaded.save(tmp_path / f"{name}2.npz"))
+        assert again == index
+        for key, array in index.arrays.items():
+            assert np.array_equal(loaded.arrays[key], array), key
+            assert loaded.arrays[key].dtype == array.dtype, key
+        assert loaded.header == index.header
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_snapshot_matches_decomposition(self, name):
+        graph, index = local_index_for(name)
+        result = local_nucleus_decomposition(graph, THETA)
+        assert index.mode == "local"
+        assert index.theta == THETA
+        assert index.fingerprint == graph_fingerprint(graph)
+        assert index.num_triangles == result.num_triangles
+        assert index.num_vertices == graph.num_vertices
+        assert index.num_edges == graph.num_edges
+        assert list(index.levels) == list(range(0, result.max_score + 1))
+        assert index.to_probabilistic_graph() == graph
+        # Scores survive the id translation exactly.
+        labels = index.vertex_labels
+        snapshot = {
+            tuple(labels[i] for i in row): score
+            for row, score in zip(
+                index.arrays["triangles"].tolist(),
+                index.arrays["triangle_scores"].tolist(),
+            )
+        }
+        assert snapshot == result.scores
+
+    def test_triangle_rows_sorted_and_ranked(self, planted):
+        index = build_local_index(planted, THETA)
+        rows = [tuple(r) for r in index.arrays["triangles"].tolist()]
+        assert rows == sorted(rows)
+        scores = index.arrays["triangle_scores"]
+        ranked = scores[index.arrays["triangle_order"]]
+        assert np.all(np.diff(ranked) <= 0)
+
+    def test_empty_graph_round_trips(self, tmp_path):
+        index = build_index(ProbabilisticGraph(), mode="local", theta=0.5)
+        assert index.num_triangles == 0 and index.levels == ()
+        loaded = load_index(index.save(tmp_path / "empty.npz"))
+        assert loaded == index
+
+    def test_save_normalises_suffixless_path(self, planted, tmp_path):
+        index = build_local_index(planted, THETA)
+        # numpy appends .npz on its own; save() must return the real file.
+        written = index.save(tmp_path / "graph.idx")
+        assert written == tmp_path / "graph.idx.npz"
+        assert written.exists()
+        assert load_index(written) == index
+
+
+# --------------------------------------------------------------------------- #
+# the three builder entry points
+# --------------------------------------------------------------------------- #
+class TestBuilders:
+    def test_build_index_dispatches_local(self, planted):
+        index = build_index(planted, mode="local", theta=THETA, backend="csr")
+        assert index.mode == "local"
+        assert index.params["backend"] == "csr"
+
+    def test_global_index(self, planted, tmp_path):
+        index = build_global_index(planted, k=1, theta=THETA, seed=7, n_samples=40)
+        assert index.mode == "global"
+        assert index.levels == (1,)
+        loaded = load_index(index.save(tmp_path / "g.npz"), graph=planted)
+        assert loaded == index
+
+    def test_empty_decomposition_still_indexes_its_level(self, planted):
+        # A k with no nuclei must be answerable (empty), not "not indexed".
+        index = NucleusIndex.from_nuclei(
+            planted, [], k=9, theta=THETA, mode="global"
+        )
+        assert index.levels == (9,)
+        assert index.num_components == 0
+        assert index.num_triangles == 0
+
+    def test_weak_index_matches_decomposition(self, planted, tmp_path):
+        nuclei = weak_nucleus_decomposition(planted, k=1, theta=THETA, seed=7, n_samples=40)
+        index = build_weak_index(planted, k=1, theta=THETA, seed=7, n_samples=40)
+        assert index.mode == "weakly-global"
+        assert index.num_components == len(nuclei)
+        loaded = load_index(index.save(tmp_path / "w.npz"), graph=planted)
+        assert loaded == index
+
+    def test_modes_require_k(self, planted):
+        with pytest.raises(InvalidParameterError):
+            build_index(planted, mode="global", theta=THETA)
+        with pytest.raises(InvalidParameterError):
+            build_index(planted, mode="nonsense", theta=THETA)
+
+    def test_from_nuclei_rejects_bad_arguments(self, planted):
+        with pytest.raises(InvalidParameterError):
+            NucleusIndex.from_nuclei(planted, [], k=1, theta=THETA, mode="local")
+        with pytest.raises(InvalidParameterError):
+            NucleusIndex.from_nuclei(planted, [], k=-1, theta=THETA, mode="global")
+
+    def test_unserialisable_labels_rejected(self):
+        graph = ProbabilisticGraph([((1, 2), (3, 4), 0.5)])
+        with pytest.raises(IndexFormatError):
+            build_local_index(graph, THETA)
+
+
+# --------------------------------------------------------------------------- #
+# failure modes of load()
+# --------------------------------------------------------------------------- #
+class TestLoadFailures:
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(IndexFormatError):
+            load_index(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "headerless.npz"
+        np.savez(path, some_array=np.arange(3))
+        with pytest.raises(IndexFormatError, match="missing header"):
+            load_index(path)
+
+    def test_missing_array_entry(self, planted, tmp_path):
+        index = build_local_index(planted, THETA)
+        original = index.save(tmp_path / "ok.npz")
+        stripped = tmp_path / "stripped.npz"
+        with zipfile.ZipFile(original) as src, zipfile.ZipFile(stripped, "w") as dst:
+            for item in src.namelist():
+                if item != "triangle_scores.npy":
+                    dst.writestr(item, src.read(item))
+        with pytest.raises(IndexFormatError, match="triangle_scores"):
+            load_index(stripped)
+
+    def test_corrupted_header_json(self, planted, tmp_path):
+        index = build_local_index(planted, THETA)
+        path = index.save(tmp_path / "ok.npz")
+        bad = tmp_path / "badheader.npz"
+        buffer = io.BytesIO()
+        np.save(buffer, np.array("{this is not json"))
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(bad, "w") as dst:
+            for item in src.namelist():
+                data = buffer.getvalue() if item == "__header__.npy" else src.read(item)
+                dst.writestr(item, data)
+        with pytest.raises(IndexFormatError, match="corrupted header"):
+            load_index(bad)
+
+    def test_unsupported_version(self, planted, tmp_path):
+        index = build_local_index(planted, THETA)
+        header = dict(index.header, format_version=999)
+        with pytest.raises(IndexFormatError, match="version"):
+            NucleusIndex(header, index.arrays)
+
+    def test_fingerprint_mismatch(self, planted, tmp_path):
+        index = build_local_index(planted, THETA)
+        path = index.save(tmp_path / "idx.npz")
+        other = clique_graph(6, probability=0.5)
+        with pytest.raises(IndexCompatibilityError):
+            load_index(path, graph=other)
+        # Loading without a graph defers the check; verify_against still fails.
+        loaded = load_index(path)
+        with pytest.raises(IndexCompatibilityError):
+            loaded.verify_against(other)
+        loaded.verify_against(planted)
+
+    def test_mutated_array_breaks_equality(self, planted):
+        a = build_local_index(planted, THETA)
+        b = build_local_index(planted, THETA)
+        assert a == b
+        b.arrays["triangle_scores"] = b.arrays["triangle_scores"] + 1
+        assert a != b
+
+
+# --------------------------------------------------------------------------- #
+# header / describe
+# --------------------------------------------------------------------------- #
+class TestHeader:
+    def test_describe_is_json_able(self, planted):
+        index = build_local_index(planted, THETA)
+        description = json.loads(json.dumps(index.describe()))
+        assert description["mode"] == "local"
+        assert description["format_version"] == 1
+        assert description["num_triangles"] == index.num_triangles
+
+    def test_repr_mentions_shape(self, planted):
+        index = build_local_index(planted, THETA)
+        text = repr(index)
+        assert "mode='local'" in text and f"triangles={index.num_triangles}" in text
