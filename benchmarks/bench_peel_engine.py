@@ -1,0 +1,236 @@
+"""Benchmark: array-native peel engine vs the PR1-era CSR peeling path.
+
+Before the peel engine landed, ``backend="csr"`` initialised κ-scores with
+the batched estimators and then *translated the flat index back into
+label-space dict state* — one canonical tuple per triangle, one dict of
+canonical 4-clique tuples per triangle — to run the reference lazy-heap
+loop.  This benchmark preserves that legacy path verbatim
+(:func:`legacy_csr_scores`) and times it against the current pipeline
+(:mod:`repro.core.peel`: flat incidence arrays + bucket queue, label
+translation only for the final score dictionary) on every bundled dataset
+analogue.  Both sides must return identical scores (asserted).
+
+Results are printed as a table and written to ``BENCH_peel_engine.json``;
+CI's ``bench-smoke`` job runs this with ``--min-speedup 1.5``: the engine
+must beat the legacy CSR path by at least 1.5x on every bundled dataset.
+Standalone usage::
+
+    python benchmarks/bench_peel_engine.py --scale small --theta 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.core.local import _peel_states
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.local import _peel_states
+
+from repro.core.approximations import DynamicProgrammingEstimator
+from repro.core.batch import batched_initial_kappas, build_triangle_extension_index
+from repro.core.hybrid import HybridEstimator
+from repro.core.local import _csr_engine_arrays, _label_space_scores, _TriangleState
+from repro.deterministic.cliques import canonical_four_clique, canonical_triangle
+from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.graph.csr import CSRProbabilisticGraph
+
+DEFAULT_JSON = "BENCH_peel_engine.json"
+DEFAULT_THETA = 0.3
+
+
+def legacy_csr_scores(csr: CSRProbabilisticGraph, theta: float, estimator) -> dict:
+    """The PR1-era CSR path: batched κ-init, then a dict-state heap peel.
+
+    Replicates the retired ``_build_states_csr`` translation exactly — the
+    flat index is expanded into canonical label-space tuples and per-triangle
+    dicts of alive 4-cliques before the reference peel loop runs.
+    """
+    index = build_triangle_extension_index(csr)
+    kappas = batched_initial_kappas(index, theta, estimator)
+    labels = csr.vertex_labels
+    try:
+        plainly_sorted = all(labels[i] <= labels[i + 1] for i in range(len(labels) - 1))
+    except TypeError:
+        plainly_sorted = False
+    states = {}
+    by_clique: dict = {}
+    for i, (u, v, w) in enumerate(index.triangles):
+        lu, lv, lw = labels[u], labels[v], labels[w]
+        triangle = (lu, lv, lw) if plainly_sorted else canonical_triangle(lu, lv, lw)
+        alive: dict = {}
+        extensions = index.extension_probabilities[i]
+        for position, z in enumerate(index.completing[i].tolist()):
+            lz = labels[z]
+            if plainly_sorted:
+                if lz <= lu:
+                    clique = (lz, lu, lv, lw)
+                elif lz <= lv:
+                    clique = (lu, lz, lv, lw)
+                elif lz <= lw:
+                    clique = (lu, lv, lz, lw)
+                else:
+                    clique = (lu, lv, lw, lz)
+            else:
+                clique = canonical_four_clique(lu, lv, lw, lz)
+            alive[clique] = float(extensions[position])
+            by_clique.setdefault(clique, []).append(triangle)
+        states[triangle] = _TriangleState(
+            probability=float(index.triangle_probabilities[i]),
+            kappa=int(kappas[i]),
+            alive_cliques=alive,
+        )
+    return _peel_states(states, by_clique, estimator, theta)
+
+
+def engine_csr_scores(csr: CSRProbabilisticGraph, theta: float, estimator) -> dict:
+    """The current CSR path: flat bucket-queue peel + one label translation."""
+    index, scores = _csr_engine_arrays(csr, theta, estimator)
+    return _label_space_scores(csr, index, scores)
+
+
+def _best_of(function, *args, repeats: int = 3):
+    """Return ``(result, seconds)`` for the fastest of ``repeats`` runs."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def run_peel_engine(
+    scale: str = "tiny",
+    theta: float = DEFAULT_THETA,
+    estimator_name: str = "dp",
+    repeats: int = 3,
+) -> dict:
+    """Time legacy vs engine CSR peeling on every bundled dataset analogue."""
+    factory = HybridEstimator if estimator_name == "hybrid" else DynamicProgrammingEstimator
+    rows = []
+    for name in DATASET_NAMES:
+        csr = load_dataset(name, scale=scale).to_csr()
+        legacy, legacy_seconds = _best_of(
+            legacy_csr_scores, csr, theta, factory(), repeats=repeats
+        )
+        engine, engine_seconds = _best_of(
+            engine_csr_scores, csr, theta, factory(), repeats=repeats
+        )
+        assert engine == legacy, f"peel engine diverged from legacy path on {name}"
+        rows.append(
+            {
+                "dataset": name,
+                "triangles": len(legacy),
+                "legacy_seconds": legacy_seconds,
+                "engine_seconds": engine_seconds,
+                "speedup": legacy_seconds / engine_seconds,
+            }
+        )
+    speedups = [row["speedup"] for row in rows]
+    return {
+        "benchmark": "peel_engine",
+        "scale": scale,
+        "theta": theta,
+        "estimator": estimator_name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+        "summary": {
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "geomean_speedup": math.exp(
+                sum(math.log(s) for s in speedups) / len(speedups)
+            ),
+        },
+    }
+
+
+def format_peel_engine(report: dict) -> str:
+    lines = [
+        f"scale={report['scale']} theta={report['theta']} "
+        f"estimator={report['estimator']}",
+        f"{'dataset':<12} {'triangles':>9} {'legacy (s)':>11} "
+        f"{'engine (s)':>11} {'speedup':>8}",
+        "-" * 56,
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['dataset']:<12} {row['triangles']:>9} "
+            f"{row['legacy_seconds']:>11.4f} {row['engine_seconds']:>11.4f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_peel_engine(benchmark, bench_scale, tmp_path):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_peel_engine, scale=bench_scale)
+    (tmp_path / DEFAULT_JSON).write_text(json.dumps(report, indent=2))
+    # The acceptance headline: the flat engine beats the legacy CSR path.
+    assert report["summary"]["min_speedup"] > 1.0
+    print()
+    print(format_peel_engine(report))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--theta", type=float, default=DEFAULT_THETA)
+    parser.add_argument("--estimator", choices=("dp", "hybrid"), default="dp")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"write the machine-readable report here (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the engine beats the legacy CSR path by at "
+        "least X on every dataset (CI acceptance gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_peel_engine(
+        scale=args.scale,
+        theta=args.theta,
+        estimator_name=args.estimator,
+        repeats=args.repeats,
+    )
+    Path(args.json).write_text(json.dumps(report, indent=2))
+    print(format_peel_engine(report))
+    summary = report["summary"]
+    print(
+        f"\nmin speedup {summary['min_speedup']:.2f}x · "
+        f"geomean {summary['geomean_speedup']:.2f}x · "
+        f"max {summary['max_speedup']:.2f}x · report -> {args.json}"
+    )
+
+    if args.min_speedup is not None:
+        offenders = [r for r in report["rows"] if r["speedup"] < args.min_speedup]
+        if offenders:
+            for row in offenders:
+                print(
+                    f"GATE FAILURE: {row['dataset']} engine speedup "
+                    f"{row['speedup']:.2f}x is below the required "
+                    f"{args.min_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

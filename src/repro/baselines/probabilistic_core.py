@@ -16,11 +16,10 @@ deterministic core peeling.
 
 from __future__ import annotations
 
-import heapq
-
 from repro.core.approximations import DynamicProgrammingEstimator, SupportEstimator
 from repro.exceptions import InvalidParameterError
 from repro.graph.probabilistic_graph import ProbabilisticGraph, Vertex
+from repro.peeling import LazyMinHeap
 
 __all__ = ["eta_degrees", "probabilistic_core_decomposition", "k_eta_core_subgraph",
            "max_core_score"]
@@ -69,20 +68,17 @@ def probabilistic_core_decomposition(
         v: max(0, estimator.max_k(1.0, list(nbrs.values()), eta))
         for v, nbrs in alive_neighbors.items()
     }
-    heap: list[tuple[int, Vertex]] = [(score, v) for v, score in kappa.items()]
-    heapq.heapify(heap)
+    heap = LazyMinHeap((score, v) for v, score in kappa.items())
 
     core: dict[Vertex, int] = {}
     processed: set[Vertex] = set()
     current_level = 0
 
-    while heap:
-        score, v = heapq.heappop(heap)
-        if v in processed:
-            continue
-        if score != kappa[v]:
-            heapq.heappush(heap, (kappa[v], v))
-            continue
+    def current(v: Vertex) -> int | None:
+        return None if v in processed else kappa[v]
+
+    while (entry := heap.pop(current)) is not None:
+        _, v = entry
         current_level = max(current_level, kappa[v])
         core[v] = current_level
         processed.add(v)
@@ -95,7 +91,7 @@ def probabilistic_core_decomposition(
                     0, estimator.max_k(1.0, list(alive_neighbors[w].values()), eta)
                 )
                 kappa[w] = max(recomputed, current_level)
-                heapq.heappush(heap, (kappa[w], w))
+                heap.push(kappa[w], w)
     return core
 
 

@@ -20,12 +20,11 @@ the affected edges, mirroring the deterministic truss peeling.
 
 from __future__ import annotations
 
-import heapq
-
 from repro.core.approximations import DynamicProgrammingEstimator, SupportEstimator
 from repro.core.support_dp import NO_VALID_K
 from repro.exceptions import InvalidParameterError
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge
+from repro.peeling import LazyMinHeap
 
 __all__ = [
     "edge_triangle_probabilities",
@@ -77,21 +76,18 @@ def probabilistic_truss_decomposition(
         edge: estimator.max_k(edge_probability[edge], list(wedge.values()), gamma)
         for edge, wedge in alive_wedges.items()
     }
-    heap: list[tuple[int, Edge]] = [(score, edge) for edge, score in kappa.items()]
-    heapq.heapify(heap)
+    heap = LazyMinHeap((score, edge) for edge, score in kappa.items())
 
     adjacency: dict = {v: set(graph.neighbors(v)) for v in graph.vertices()}
     truss: dict[Edge, int] = {}
     processed: set[Edge] = set()
     current_level = NO_VALID_K
 
-    while heap:
-        score, edge = heapq.heappop(heap)
-        if edge in processed:
-            continue
-        if score != kappa[edge]:
-            heapq.heappush(heap, (kappa[edge], edge))
-            continue
+    def current(edge: Edge) -> int | None:
+        return None if edge in processed else kappa[edge]
+
+    while (entry := heap.pop(current)) is not None:
+        _, edge = entry
         current_level = max(current_level, kappa[edge])
         truss[edge] = current_level
         processed.add(edge)
@@ -112,7 +108,7 @@ def probabilistic_truss_decomposition(
                         gamma,
                     )
                     kappa[other] = max(recomputed, current_level)
-                    heapq.heappush(heap, (kappa[other], other))
+                    heap.push(kappa[other], other)
     return truss
 
 

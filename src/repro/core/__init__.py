@@ -10,6 +10,9 @@ Public entry points:
   per-candidate Monte-Carlo scoring.
 * The support estimators of :mod:`repro.core.approximations` and the §5.3
   :class:`HybridEstimator`.
+* The array-native peel engine of :mod:`repro.core.peel`
+  (:func:`peel_kappa_scores` + the :class:`KappaRepair` hooks), which every
+  ``backend="csr"`` decomposition path runs on.
 """
 
 from repro.core.approximations import (
@@ -32,6 +35,12 @@ from repro.core.batch import (
     build_triangle_extension_index,
 )
 from repro.core.hybrid import HybridEstimator, HybridParameters
+from repro.core.peel import (
+    EstimatorKappaRepair,
+    KappaRepair,
+    MonteCarloKappaRepair,
+    peel_kappa_scores,
+)
 from repro.core.local import (
     BACKENDS,
     clique_extension_probability,
@@ -65,6 +74,10 @@ __all__ = [
     "le_cam_error_bound",
     "HybridEstimator",
     "HybridParameters",
+    "KappaRepair",
+    "EstimatorKappaRepair",
+    "MonteCarloKappaRepair",
+    "peel_kappa_scores",
     "candidate_closure",
     "global_nucleus_decomposition",
     "union_of_nuclei",

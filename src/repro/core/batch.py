@@ -34,7 +34,8 @@ triangle.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.core.support_dp import NO_VALID_K
 from repro.deterministic.cliques import (
     IntTriangle,
     _members_of_sorted_mask,
+    concatenated_rows,
     forward_adjacency_csr,
     triangle_arrays_csr,
 )
@@ -67,20 +69,66 @@ _ERFC = np.frompyfunc(math.erfc, 1, 1)
 
 @dataclass
 class CSRTriangleIndex:
-    """Per-triangle structural and probabilistic data gathered from a CSR graph.
+    """Triangle ⇄ 4-clique incidence of a CSR graph, stored as flat arrays.
 
-    All four sequences are parallel: entry ``i`` describes triangle
-    ``triangles[i] = (u, v, w)`` (sorted CSR vertex ids), with existence
-    probability ``triangle_probabilities[i]``, completing vertices
-    ``completing[i]`` (sorted id array) and extension probabilities
-    ``extension_probabilities[i]`` (``Pr(E_z) = p(u,z)·p(v,z)·p(w,z)``,
-    parallel to ``completing[i]``).
+    Entry ``i`` describes triangle ``triangles[i] = (u, v, w)`` (sorted CSR
+    vertex ids, listed in lexicographic order) with existence probability
+    ``triangle_probabilities[i]``.  The triangle → 4-clique incidence is a
+    CSR-style postings structure: the half-open slice
+    ``tri_clique_indptr[i]:tri_clique_indptr[i + 1]`` of the three parallel
+    *pair arrays* holds, sorted by completing vertex,
+
+    ``tri_completing``
+        the completing vertex ``z`` of each 4-clique through the triangle,
+    ``tri_extension_probabilities``
+        the extension probability ``Pr(E_z) = p(u,z)·p(v,z)·p(w,z)``,
+    ``tri_cliques``
+        the row id of that 4-clique in the clique-level arrays.
+
+    The reverse incidence is dense because every 4-clique has exactly four
+    member triangles: ``clique_triangles[c]`` lists the four triangle rows of
+    clique ``c`` and ``clique_pair_positions[c]`` the positions of those four
+    (triangle, clique) pairs inside the pair arrays — so killing a clique is
+    four O(1) writes, the operation the peel engine
+    (:mod:`repro.core.peel`) builds its bucket-queue loop on.
     """
 
     triangles: list[IntTriangle]
     triangle_probabilities: np.ndarray
-    completing: list[np.ndarray]
-    extension_probabilities: list[np.ndarray]
+    tri_clique_indptr: np.ndarray
+    tri_completing: np.ndarray
+    tri_extension_probabilities: np.ndarray
+    tri_cliques: np.ndarray
+    clique_triangles: np.ndarray = field(repr=False)
+    clique_pair_positions: np.ndarray = field(repr=False)
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of indexed triangles."""
+        return len(self.triangles)
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of indexed 4-cliques."""
+        return int(self.clique_triangles.shape[0])
+
+    @cached_property
+    def completing(self) -> list[np.ndarray]:
+        """Per-triangle views of :attr:`tri_completing` (sorted id arrays)."""
+        offsets = self.tri_clique_indptr
+        return [
+            self.tri_completing[offsets[i]:offsets[i + 1]]
+            for i in range(self.num_triangles)
+        ]
+
+    @cached_property
+    def extension_probabilities(self) -> list[np.ndarray]:
+        """Per-triangle views of :attr:`tri_extension_probabilities`."""
+        offsets = self.tri_clique_indptr
+        return [
+            self.tri_extension_probabilities[offsets[i]:offsets[i + 1]]
+            for i in range(self.num_triangles)
+        ]
 
 
 class _EdgeProbabilityLookup:
@@ -94,10 +142,8 @@ class _EdgeProbabilityLookup:
 
     def __init__(self, csr: CSRProbabilisticGraph) -> None:
         n = csr.num_vertices
-        degrees = np.diff(csr.indptr)
-        row_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
         self._n = n
-        self._keys = row_owner * n + csr.indices
+        self._keys = csr.directed_edge_owners() * n + csr.indices
         self._probs = csr.probabilities
 
     def __call__(self, source: np.ndarray, target: np.ndarray) -> np.ndarray:
@@ -144,8 +190,10 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
     3. scatter each 4-clique to its four member triangles: the completing
        vertex and the extension probability ``Pr(E_z)`` are computed for all
        cliques at once from the six gathered edge probabilities, and one
-       ``lexsort`` groups the pairs back into per-triangle arrays sorted by
-       completing vertex.
+       ``lexsort`` groups the (triangle, clique) pairs into the flat postings
+       arrays, sorted per triangle by completing vertex.  The clique → pair
+       back-pointers (``clique_pair_positions``) fall out of the same sort,
+       giving the peel engine its O(1) clique-kill operation for free.
     """
     forward = forward_adjacency_csr(csr)
     u_ids, v_ids, w_ids = triangle_arrays_csr(csr, forward=forward)
@@ -155,13 +203,21 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
     )
     empty_int = np.empty(0, dtype=np.int64)
     empty_float = np.empty(0, dtype=np.float64)
-    if num_triangles == 0:
+
+    def _without_cliques(tri_probs: np.ndarray) -> CSRTriangleIndex:
         return CSRTriangleIndex(
             triangles=triangles,
-            triangle_probabilities=empty_float,
-            completing=[],
-            extension_probabilities=[],
+            triangle_probabilities=tri_probs,
+            tri_clique_indptr=np.zeros(num_triangles + 1, dtype=np.int64),
+            tri_completing=empty_int,
+            tri_extension_probabilities=empty_float,
+            tri_cliques=empty_int,
+            clique_triangles=np.empty((0, 4), dtype=np.int64),
+            clique_pair_positions=np.empty((0, 4), dtype=np.int64),
         )
+
+    if num_triangles == 0:
+        return _without_cliques(empty_float)
 
     probability_of = _EdgeProbabilityLookup(csr)
     # Pr(△) = p(u,v) · p(u,w) · p(v,w), matching the scalar evaluation order.
@@ -173,11 +229,8 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
 
     # --- batched 4-clique enumeration ------------------------------------ #
     fptr, fidx = forward
-    sizes = np.diff(fptr)[w_ids]
-    if int(sizes.sum()):
-        candidates = np.concatenate(
-            [fidx[fptr[w]:fptr[w + 1]] for w in w_ids.tolist()]
-        )
+    candidates, sizes = concatenated_rows(fptr, fidx, w_ids)
+    if candidates.size:
         owner = np.repeat(np.arange(num_triangles, dtype=np.int64), sizes)
         keep = probability_of.has_edges(v_ids[owner], candidates)
         owner, candidates = owner[keep], candidates[keep]
@@ -187,12 +240,7 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
         owner = candidates = empty_int
 
     if owner.size == 0:
-        return CSRTriangleIndex(
-            triangles=triangles,
-            triangle_probabilities=tri_probs,
-            completing=[empty_int] * num_triangles,
-            extension_probabilities=[empty_float] * num_triangles,
-        )
+        return _without_cliques(tri_probs)
 
     a, b, c, d = u_ids[owner], v_ids[owner], w_ids[owner], candidates
     p_ab = probability_of(a, b)
@@ -217,9 +265,11 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
 
     # Member (a,b,c) is the generating triangle itself (its row is `owner`);
     # extension products follow the scalar p(u,z)·p(v,z)·p(w,z) order.
-    member_rows = np.concatenate(
-        [owner, rows_of(a, b, d), rows_of(a, c, d), rows_of(b, c, d)]
+    num_cliques = int(owner.size)
+    clique_triangles = np.stack(
+        [owner, rows_of(a, b, d), rows_of(a, c, d), rows_of(b, c, d)], axis=1
     )
+    member_rows = clique_triangles.T.reshape(-1)
     completing_ids = np.concatenate([d, c, b, a])
     extensions = np.concatenate(
         [
@@ -229,23 +279,24 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
             p_ab * p_ac * p_ad,  # triangle (b,c,d), completing vertex a
         ]
     )
+    clique_ids = np.tile(np.arange(num_cliques, dtype=np.int64), 4)
     order = np.lexsort((completing_ids, member_rows))
-    member_rows = member_rows[order]
-    completing_ids = completing_ids[order]
-    extensions = extensions[order]
+    # pair_rank[j] is the position of pre-sort pair j in the sorted pair
+    # arrays, which is exactly where the clique-level structure must point.
+    pair_rank = np.empty(order.size, dtype=np.int64)
+    pair_rank[order] = np.arange(order.size, dtype=np.int64)
     counts = np.bincount(member_rows, minlength=num_triangles)
-    offsets = np.concatenate(([0], np.cumsum(counts))).tolist()
-    completing = [
-        completing_ids[offsets[i]:offsets[i + 1]] for i in range(num_triangles)
-    ]
-    extension_rows = [
-        extensions[offsets[i]:offsets[i + 1]] for i in range(num_triangles)
-    ]
+    tri_clique_indptr = np.zeros(num_triangles + 1, dtype=np.int64)
+    np.cumsum(counts, out=tri_clique_indptr[1:])
     return CSRTriangleIndex(
         triangles=triangles,
         triangle_probabilities=tri_probs,
-        completing=completing,
-        extension_probabilities=extension_rows,
+        tri_clique_indptr=tri_clique_indptr,
+        tri_completing=completing_ids[order],
+        tri_extension_probabilities=extensions[order],
+        tri_cliques=clique_ids[order],
+        clique_triangles=clique_triangles,
+        clique_pair_positions=pair_rank.reshape(4, num_cliques).T.copy(),
     )
 
 
@@ -451,27 +502,31 @@ def batched_initial_kappas(
         return kappas
 
     tri_probs = index.triangle_probabilities
-    rows = index.extension_probabilities
+    indptr = index.tri_clique_indptr
+    flat = index.tri_extension_probabilities
+    sizes = np.diff(indptr)
 
     is_hybrid = isinstance(estimator, HybridEstimator)
     kernel = None if is_hybrid else _KERNELS.get(type(estimator))
     if kernel is None and not is_hybrid:
         for i in range(num_triangles):
             kappas[i] = estimator.max_k(
-                float(tri_probs[i]), rows[i].tolist(), theta
+                float(tri_probs[i]), flat[indptr[i]:indptr[i + 1]].tolist(), theta
             )
         return kappas
 
     groups: dict[int, list[int]] = {}
-    for i, row in enumerate(rows):
-        groups.setdefault(int(row.size), []).append(i)
+    for i, c in enumerate(sizes.tolist()):
+        groups.setdefault(c, []).append(i)
 
     for c, members in groups.items():
         member_ids = np.asarray(members, dtype=np.int64)
+        # Rows of equal support size gather into one dense matrix with a
+        # single fancy index over the flat pair array.
         matrix = (
             np.empty((member_ids.size, 0), dtype=np.float64)
             if c == 0
-            else np.stack([rows[i] for i in members])
+            else flat[indptr[member_ids][:, None] + np.arange(c, dtype=np.int64)]
         )
         group_probs = tri_probs[member_ids]
         if is_hybrid:

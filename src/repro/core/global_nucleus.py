@@ -246,9 +246,11 @@ def global_nucleus_decomposition(
         different (identically distributed) world samples.
     backend:
         ``"dict"`` (default) samples and verifies worlds one at a time on the
-        dict substrate; ``"csr"`` runs the local pruning on the CSR engine
-        and verifies every candidate with the vectorized world-matrix
-        sampler (:mod:`repro.sampling.world_matrix`).
+        dict substrate; ``"csr"`` runs the local pruning on the array-native
+        peel engine (:mod:`repro.core.peel`, via
+        :func:`~repro.core.local.local_nucleus_decomposition`) and verifies
+        every candidate with the vectorized world-matrix sampler
+        (:mod:`repro.sampling.world_matrix`).
     n_jobs:
         Number of ``multiprocessing`` workers sharding each candidate's
         world matrix (``backend="csr"`` only).  Results are identical for

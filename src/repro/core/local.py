@@ -21,30 +21,45 @@ The implementation below follows Algorithm 1:
 4. return the scores wrapped in a :class:`LocalNucleusDecomposition`, from
    which the maximal ℓ-(k, θ)-nuclei can be extracted for any ``k``.
 
+Two backends implement the same algorithm.  ``backend="dict"`` is the
+reference path: canonical-tuple state, a :class:`~repro.peeling.LazyMinHeap`
+peel, scalar estimator calls — the parity oracle every optimisation is pinned
+against.  ``backend="csr"`` never materialises triangle or 4-clique objects
+at all: :mod:`repro.core.batch` builds the flat incidence arrays and the
+vectorized initial κ-scores, and :mod:`repro.core.peel` runs the bucket-queue
+peel over those arrays, translating back to canonical label space only once,
+for the final score dictionary.
+
 Triangles whose own existence probability is below θ receive the sentinel
 score ``-1`` and are peeled first; they cannot belong to any nucleus.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.approximations import DynamicProgrammingEstimator, SupportEstimator
-from repro.core.batch import batched_initial_kappas, build_triangle_extension_index
+from repro.core.batch import (
+    CSRTriangleIndex,
+    batched_initial_kappas,
+    build_triangle_extension_index,
+)
 from repro.core.hybrid import HybridEstimator
+from repro.core.peel import EstimatorKappaRepair, peel_kappa_scores
 from repro.core.result import LocalNucleusDecomposition
 from repro.core.support_dp import NO_VALID_K
 from repro.deterministic.cliques import (
     FourClique,
     Triangle,
-    canonical_four_clique,
     canonical_triangle,
     triangle_clique_index,
 )
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.peeling import LazyMinHeap
 
 BACKENDS = ("dict", "csr")
 
@@ -54,6 +69,20 @@ __all__ = [
     "triangle_existence_probability",
     "clique_extension_probability",
 ]
+
+
+def resolve_local_options(
+    theta: float, estimator: SupportEstimator | None
+) -> SupportEstimator:
+    """Validate ``theta`` and resolve the default support estimator.
+
+    Shared by :func:`local_nucleus_decomposition` and the no-detour index
+    builder (:func:`repro.index.builders.build_local_index`'s CSR path) so
+    parameter validation and the default oracle cannot drift apart.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
+    return DynamicProgrammingEstimator() if estimator is None else estimator
 
 
 def triangle_existence_probability(graph: ProbabilisticGraph, triangle: Triangle) -> float:
@@ -91,7 +120,7 @@ def clique_extension_probability(
 
 @dataclass
 class _TriangleState:
-    """Mutable per-triangle bookkeeping used by the peeling loop."""
+    """Mutable per-triangle bookkeeping used by the dict peeling loop."""
 
     probability: float
     kappa: int
@@ -120,57 +149,101 @@ def _build_states(
     return states, by_clique
 
 
-def _build_states_csr(
+def _peel_states(
+    states: dict[Triangle, _TriangleState],
+    by_clique: dict[FourClique, list[Triangle]],
+    estimator: SupportEstimator,
+    theta: float,
+) -> dict[Triangle, int]:
+    """Run Algorithm 1's peel over dict-backed triangle states.
+
+    This is the reference loop — a :class:`~repro.peeling.LazyMinHeap` over
+    ``(κ, triangle)`` entries with clamped level assignment — against which
+    the array-native engine (:mod:`repro.core.peel`) is pinned.
+    """
+    alive_cliques: set[FourClique] = set(by_clique)
+    heap = LazyMinHeap((state.kappa, triangle) for triangle, state in states.items())
+
+    def current(triangle: Triangle) -> int | None:
+        state = states[triangle]
+        return None if state.processed else state.kappa
+
+    scores: dict[Triangle, int] = {}
+    current_level = NO_VALID_K
+
+    while (entry := heap.pop(current)) is not None:
+        _, triangle = entry
+        state = states[triangle]
+        current_level = max(current_level, state.kappa)
+        scores[triangle] = current_level
+        state.processed = True
+
+        # Every 4-clique through the peeled triangle ceases to exist; update
+        # the κ-scores of the surviving triangles it supported.
+        for clique in list(state.alive_cliques):
+            if clique not in alive_cliques:
+                continue
+            alive_cliques.remove(clique)
+            for other in by_clique[clique]:
+                if other == triangle:
+                    continue
+                other_state = states[other]
+                if other_state.processed:
+                    continue
+                other_state.alive_cliques.pop(clique, None)
+                if other_state.kappa > current_level:
+                    recomputed = estimator.max_k(
+                        other_state.probability,
+                        list(other_state.alive_cliques.values()),
+                        theta,
+                    )
+                    other_state.kappa = max(recomputed, current_level)
+                    heap.push(other_state.kappa, other)
+    return scores
+
+
+def _csr_engine_arrays(
     csr: CSRProbabilisticGraph,
     theta: float,
     estimator: SupportEstimator,
-) -> tuple[dict[Triangle, _TriangleState], dict[FourClique, list[Triangle]]]:
-    """CSR counterpart of :func:`_build_states`.
+) -> tuple[CSRTriangleIndex, np.ndarray]:
+    """Run the array-native CSR pipeline: index → batched κ-init → peel.
 
-    Indexes triangles and 4-cliques with ordered-adjacency merges over the
-    CSR arrays and initialises every κ-score through the batched vectorized
-    estimators of :mod:`repro.core.batch`, then translates the int-id
-    structures back to canonical label space so the peeling loop (and all
-    result post-processing) is shared with the dict backend.
+    Returns the flat triangle index and the per-triangle ν scores (``int64``,
+    parallel to ``index.triangles``).  No label-space structures are built;
+    :func:`repro.index.builders.build_local_index` snapshots these arrays
+    into a :class:`~repro.index.NucleusIndex` directly.
     """
     index = build_triangle_extension_index(csr)
     kappas = batched_initial_kappas(index, theta, estimator)
+    repair = EstimatorKappaRepair(estimator, index.triangle_probabilities, theta)
+    return index, peel_kappa_scores(index, kappas, repair)
+
+
+def _label_space_scores(
+    csr: CSRProbabilisticGraph,
+    index: CSRTriangleIndex,
+    scores: np.ndarray,
+) -> dict[Triangle, int]:
+    """Translate engine row scores to canonical label-space triangles.
+
+    One pass, run *after* the peel completes — the only point where the CSR
+    backend touches vertex labels.
+    """
     labels = csr.vertex_labels
     # When the label order agrees with plain sorting (the common case:
     # homogeneous comparable labels), ascending-id tuples map straight to
-    # canonical tuples and the per-structure canonicalisation can be skipped.
+    # canonical tuples and the per-triangle canonicalisation can be skipped.
     try:
         plainly_sorted = all(labels[i] <= labels[i + 1] for i in range(len(labels) - 1))
     except TypeError:
         plainly_sorted = False
-    states: dict[Triangle, _TriangleState] = {}
-    by_clique: dict[FourClique, list[Triangle]] = {}
-    for i, (u, v, w) in enumerate(index.triangles):
+    result: dict[Triangle, int] = {}
+    for (u, v, w), score in zip(index.triangles, scores.tolist()):
         lu, lv, lw = labels[u], labels[v], labels[w]
         triangle = (lu, lv, lw) if plainly_sorted else canonical_triangle(lu, lv, lw)
-        alive: dict[FourClique, float] = {}
-        extensions = index.extension_probabilities[i]
-        for position, z in enumerate(index.completing[i].tolist()):
-            lz = labels[z]
-            if plainly_sorted:
-                if lz <= lu:
-                    clique = (lz, lu, lv, lw)
-                elif lz <= lv:
-                    clique = (lu, lz, lv, lw)
-                elif lz <= lw:
-                    clique = (lu, lv, lz, lw)
-                else:
-                    clique = (lu, lv, lw, lz)
-            else:
-                clique = canonical_four_clique(lu, lv, lw, lz)
-            alive[clique] = float(extensions[position])
-            by_clique.setdefault(clique, []).append(triangle)
-        states[triangle] = _TriangleState(
-            probability=float(index.triangle_probabilities[i]),
-            kappa=int(kappas[i]),
-            alive_cliques=alive,
-        )
-    return states, by_clique
+        result[triangle] = score
+    return result
 
 
 def local_nucleus_decomposition(
@@ -197,12 +270,13 @@ def local_nucleus_decomposition(
         :mod:`repro.core.approximations`.
     backend:
         ``"dict"`` (default) walks the dict-of-dicts graph exactly as the
-        seed implementation did; ``"csr"`` compiles the graph to the
-        array-backed CSR engine, enumerates triangles/4-cliques with ordered
-        adjacency merges, and initialises all κ-scores in vectorized batches
-        (:mod:`repro.core.batch`).  Both backends produce identical
-        decompositions; ``"csr"`` is markedly faster on graphs with many
-        triangles.
+        seed implementation did and peels with a lazy min-heap; ``"csr"``
+        compiles the graph to the array-backed CSR engine, initialises all
+        κ-scores in vectorized batches (:mod:`repro.core.batch`), and peels
+        with the flat bucket-queue engine (:mod:`repro.core.peel`) without
+        materialising any triangle or 4-clique objects.  Both backends
+        produce identical decompositions; ``"csr"`` is markedly faster on
+        graphs with many triangles.
 
     Returns
     -------
@@ -211,72 +285,33 @@ def local_nucleus_decomposition(
 
     Notes
     -----
-    The peeling loop uses a lazy min-heap: stale heap entries (whose κ no
-    longer matches the triangle's current κ) are skipped on pop.  Scores are
-    clamped to the current peel level, which keeps the assigned ν values
-    monotone along the peel order — the same argument used for deterministic
-    generalized-core peeling (Batagelj–Zaveršnik) that the paper invokes.
+    Both peel loops clamp assigned scores to the current peel level, which
+    keeps the ν values monotone along the peel order — the same argument used
+    for deterministic generalized-core peeling (Batagelj–Zaveršnik) that the
+    paper invokes.  Because the repaired κ of a triangle depends only on its
+    surviving clique set (and removing cliques never raises the exact tail),
+    the final scores do not depend on which minimum-κ triangle is peeled
+    first, so the heap-based and bucket-queue loops agree exactly.
     """
-    if not 0.0 <= theta <= 1.0:
-        raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if backend not in BACKENDS:
         raise InvalidParameterError(
             f"backend must be one of {BACKENDS}, got {backend!r}"
         )
-    if estimator is None:
-        estimator = DynamicProgrammingEstimator()
+    estimator = resolve_local_options(theta, estimator)
 
     if isinstance(graph, CSRProbabilisticGraph):
         csr, graph = graph, graph.to_probabilistic()
-        states, by_clique = _build_states_csr(csr, theta, estimator)
     elif backend == "csr":
-        states, by_clique = _build_states_csr(graph.to_csr(), theta, estimator)
+        csr = graph.to_csr()
+    else:
+        csr = None
+
+    if csr is not None:
+        index, engine_scores = _csr_engine_arrays(csr, theta, estimator)
+        scores = _label_space_scores(csr, index, engine_scores)
     else:
         states, by_clique = _build_states(graph, theta, estimator)
-    alive_cliques: set[FourClique] = set(by_clique)
-
-    heap: list[tuple[int, Triangle]] = [
-        (state.kappa, triangle) for triangle, state in states.items()
-    ]
-    heapq.heapify(heap)
-
-    scores: dict[Triangle, int] = {}
-    current_level = NO_VALID_K
-
-    while heap:
-        kappa, triangle = heapq.heappop(heap)
-        state = states[triangle]
-        if state.processed:
-            continue
-        if kappa != state.kappa:
-            heapq.heappush(heap, (state.kappa, triangle))
-            continue
-
-        current_level = max(current_level, state.kappa)
-        scores[triangle] = current_level
-        state.processed = True
-
-        # Every 4-clique through the peeled triangle ceases to exist; update
-        # the κ-scores of the surviving triangles it supported.
-        for clique in list(state.alive_cliques):
-            if clique not in alive_cliques:
-                continue
-            alive_cliques.remove(clique)
-            for other in by_clique[clique]:
-                if other == triangle:
-                    continue
-                other_state = states[other]
-                if other_state.processed:
-                    continue
-                other_state.alive_cliques.pop(clique, None)
-                if other_state.kappa > current_level:
-                    recomputed = estimator.max_k(
-                        other_state.probability,
-                        list(other_state.alive_cliques.values()),
-                        theta,
-                    )
-                    other_state.kappa = max(recomputed, current_level)
-                    heapq.heappush(heap, (other_state.kappa, other))
+        scores = _peel_states(states, by_clique, estimator, theta)
 
     selections = (
         dict(estimator.selection_counts)

@@ -1,0 +1,352 @@
+"""Array-native peeling engine shared by the CSR decomposition paths.
+
+Algorithm 1's peel loop — "repeatedly remove an unprocessed triangle of
+minimum κ, kill every 4-clique through it, repair the κ-scores of the
+affected triangles" — historically ran over per-triangle dataclasses holding
+dicts of canonical 4-clique tuples, rebuilt from the CSR arrays after the
+vectorized initialization.  This module keeps the whole loop in flat-array
+space instead:
+
+* the triangle ⇄ 4-clique incidence is the postings structure of
+  :class:`repro.core.batch.CSRTriangleIndex` — integer ids and parallel
+  float arrays, no ``Triangle``/``FourClique`` tuples, no per-triangle
+  dicts or dataclasses anywhere in the loop;
+* for *monotone* repairs the priority queue is a **bucket queue** over
+  κ-values (the structure used by deterministic k-core peeling,
+  Batagelj–Zaveršnik): an ``order`` array partitioned into buckets with
+  O(1) re-keying by swap, replacing the lazy min-heap and its stale-entry
+  churn, with exact repairs deferred to the queue front via the unit-drop
+  lower bound (see :attr:`KappaRepair.unit_drop`); non-monotone repairs
+  instead replay the reference loop's lazy-heap trajectory over integer
+  rows, because their scores depend on the exact repair schedule;
+* score repair is pluggable through :class:`KappaRepair`:
+  :class:`EstimatorKappaRepair` wraps any
+  :class:`~repro.core.approximations.SupportEstimator` (exact DP and every
+  §5.3 approximation), and :class:`MonteCarloKappaRepair` estimates the
+  support tail by sampling — so exact, approximate, and Monte-Carlo
+  recomputation all plug into the same loop.
+
+The engine produces exactly the scores of the dict-backed reference loop:
+for the exact oracle the peel value of a triangle is the generalized-core
+number of a monotone local score function, independent of the order in
+which minimum triangles are peeled; for the approximations the trajectory
+itself is replicated.  The surviving extension probabilities are summed in
+the same (completing-vertex) order as the dict state on the CSR path.
+``tests/test_peel_engine.py`` and ``tests/test_backend_parity.py`` pin the
+parity on every fixture, estimator, and a randomized graph sweep.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.approximations import DynamicProgrammingEstimator, SupportEstimator
+from repro.core.batch import CSRTriangleIndex
+from repro.core.support_dp import NO_VALID_K
+from repro.exceptions import InvalidParameterError
+from repro.peeling import LazyMinHeap
+
+__all__ = [
+    "KappaRepair",
+    "EstimatorKappaRepair",
+    "MonteCarloKappaRepair",
+    "peel_kappa_scores",
+]
+
+
+class KappaRepair(ABC):
+    """Strategy recomputing a triangle's κ-score from its surviving cliques.
+
+    The peel loop calls :meth:`recompute` whenever a 4-clique through an
+    unprocessed triangle dies (or, for unit-drop repairs, when the triangle
+    reaches the queue front); implementations see only the triangle's row id
+    and the extension probabilities of its surviving 4-cliques (in completing-
+    vertex order), and return the repaired κ — the largest ``k`` for which the
+    triangle still satisfies the threshold condition, or
+    :data:`~repro.core.support_dp.NO_VALID_K`.
+    """
+
+    #: Short identifier used in logs and benchmark reports.
+    name: str = "abstract"
+
+    #: Whether one clique death can lower this repair's κ by at most one.
+    #: For the *exact* Poisson-binomial tail this always holds — dropping one
+    #: Bernoulli variable ``E`` satisfies ``Pr[ζ − E ≥ k] ≥ Pr[ζ ≥ k + 1]``,
+    #: so the qualifying ``k`` shrinks by at most one — and the peel engine
+    #: then defers exact recomputation until the triangle reaches the queue
+    #: front, tracking a cheap lower bound in between.  The §5.3
+    #: approximations do *not* guarantee the property (e.g. the Poisson tail
+    #: at rate ``λ − 1`` can undercut the exact unit-drop bound), so they
+    #: leave this ``False`` and are repaired eagerly on every death.
+    unit_drop: bool = False
+
+    @abstractmethod
+    def recompute(self, triangle: int, surviving_probabilities: Sequence[float]) -> int:
+        """Return the repaired κ-score of triangle row ``triangle``."""
+
+
+class EstimatorKappaRepair(KappaRepair):
+    """Repair κ with a :class:`SupportEstimator` (exact DP or any §5.3 approximation).
+
+    This is the hook the decomposition entry points install: it evaluates the
+    same ``max_k`` the dict backend calls during its repairs, so the two
+    backends score identically.
+    """
+
+    def __init__(
+        self,
+        estimator: SupportEstimator,
+        triangle_probabilities: np.ndarray,
+        theta: float,
+    ) -> None:
+        self.estimator = estimator
+        self.theta = theta
+        self.name = estimator.name
+        # Only the unmodified exact oracle is known to satisfy unit-drop;
+        # subclasses may override max_k arbitrarily, so match the type
+        # exactly rather than with isinstance.
+        self.unit_drop = type(estimator) is DynamicProgrammingEstimator
+        self._triangle_probabilities = triangle_probabilities.tolist()
+
+    def recompute(self, triangle: int, surviving_probabilities: Sequence[float]) -> int:
+        return self.estimator.max_k(
+            self._triangle_probabilities[triangle], surviving_probabilities, self.theta
+        )
+
+
+class MonteCarloKappaRepair(KappaRepair):
+    """Repair κ by Monte-Carlo estimation of the support tail.
+
+    Samples ``n_samples`` joint realisations of the surviving extension
+    indicators and uses the empirical tail ``#{samples with ≥ k successes}/n``
+    in place of the exact Poisson-binomial tail.  With all-certain extension
+    probabilities the estimate is exact; otherwise it concentrates around the
+    DP answer at the usual Hoeffding rate.  Deterministic for a fixed seed.
+    """
+
+    name = "monte-carlo"
+
+    def __init__(
+        self,
+        triangle_probabilities: np.ndarray,
+        theta: float,
+        n_samples: int = 200,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if n_samples <= 0:
+            raise InvalidParameterError(f"n_samples must be positive, got {n_samples}")
+        self.theta = theta
+        self.n_samples = n_samples
+        self._triangle_probabilities = triangle_probabilities.tolist()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def recompute(self, triangle: int, surviving_probabilities: Sequence[float]) -> int:
+        probability = self._triangle_probabilities[triangle]
+        count = len(surviving_probabilities)
+        if count == 0:
+            return 0 if probability >= self.theta else NO_VALID_K
+        draws = self._rng.random((self.n_samples, count)) < np.asarray(
+            surviving_probabilities
+        )
+        successes = np.bincount(draws.sum(axis=1), minlength=count + 1)
+        tails = np.cumsum(successes[::-1])[::-1] / self.n_samples
+        best = NO_VALID_K
+        for k in range(count + 1):
+            if probability * float(tails[k]) >= self.theta:
+                best = k
+            else:
+                break
+        return best
+
+
+def peel_kappa_scores(
+    index: CSRTriangleIndex,
+    initial_kappas: np.ndarray,
+    repair: KappaRepair,
+) -> np.ndarray:
+    """Peel every triangle of ``index`` and return its nucleus score ν.
+
+    Runs Algorithm 1's loop entirely over the flat incidence arrays of
+    ``index``: triangles are integer rows, 4-cliques are integer rows, and
+    liveness is a pair of boolean lists — the loop allocates no per-triangle
+    Python objects (no tuples, dicts, or dataclasses), only the transient
+    surviving-probability buffer each :class:`KappaRepair` call consumes.
+
+    Two queue disciplines drive the loop, selected by the repair's
+    :attr:`~KappaRepair.unit_drop` capability:
+
+    * **Bucket queue** (unit-drop repairs, i.e. the exact DP oracle) — a
+      bucket queue over κ-values offset by one (the ``-1`` sentinel of
+      below-θ triangles occupies bucket 0 and is peeled first): ``order``
+      holds the triangle rows partitioned by bucket, ``position`` inverts
+      it, and ``bucket_start[b]`` marks where bucket ``b`` begins.  A
+      clique death just steps the affected triangles one bucket down — an
+      O(1) swap, valid as a lower bound precisely because of unit-drop —
+      and the exact repair is deferred until the triangle reaches the
+      queue front.  Scores of a monotone repair are peel-order
+      independent, so this reproduces the reference loop's output exactly
+      while skipping most of its intermediate repairs.
+    * **Lazy min-heap** (everything else) — the §5.3 approximated tails
+      are not monotone under clique removal (a death can *raise* κ), which
+      makes the final scores sensitive to the exact pop/repair schedule.
+      The engine therefore replays the reference loop's trajectory
+      verbatim: a :class:`~repro.peeling.LazyMinHeap` over
+      ``(κ, triangle row)`` entries with per-death repairs and re-pushes —
+      row order coincides with canonical triangle order under the CSR
+      relabelling, so ties break exactly as in the dict backend.
+
+    Returns the ``int64`` score array parallel to ``index.triangles``; the
+    assigned scores are clamped to the running peel level exactly like the
+    reference loop, so levels are monotone along the peel order.
+    """
+    num_triangles = index.num_triangles
+    if initial_kappas.shape != (num_triangles,):
+        raise InvalidParameterError(
+            "initial_kappas must be parallel to index.triangles "
+            f"(expected shape ({num_triangles},), got {initial_kappas.shape})"
+        )
+    scores = np.full(num_triangles, NO_VALID_K, dtype=np.int64)
+    if num_triangles == 0:
+        return scores
+
+    kappa: list[int] = initial_kappas.tolist()
+    indptr: list[int] = index.tri_clique_indptr.tolist()
+    pair_probabilities: list[float] = index.tri_extension_probabilities.tolist()
+    pair_alive: list[bool] = [True] * len(pair_probabilities)
+    clique_members: list[list[int]] = index.clique_triangles.tolist()
+    clique_positions: list[list[int]] = index.clique_pair_positions.tolist()
+    pair_cliques: list[int] = index.tri_cliques.tolist()
+
+    def surviving_of(m: int) -> list[float]:
+        return [
+            pair_probabilities[p]
+            for p in range(indptr[m], indptr[m + 1])
+            if pair_alive[p]
+        ]
+
+    out: list[int] = [NO_VALID_K] * num_triangles
+    recompute = repair.recompute
+
+    if not repair.unit_drop:
+        # --- lazy min-heap: replay the reference trajectory exactly ------- #
+        heap = LazyMinHeap((kappa[t], t) for t in range(num_triangles))
+        processed = [False] * num_triangles
+
+        def current(m: int) -> int | None:
+            return None if processed[m] else kappa[m]
+
+        level = NO_VALID_K
+        while (entry := heap.pop(current)) is not None:
+            _, t = entry
+            if kappa[t] > level:
+                level = kappa[t]
+            out[t] = level
+            processed[t] = True
+            for j in range(indptr[t], indptr[t + 1]):
+                if not pair_alive[j]:
+                    continue
+                c = pair_cliques[j]
+                for pair_position in clique_positions[c]:
+                    pair_alive[pair_position] = False
+                for m in clique_members[c]:
+                    if m == t or processed[m]:
+                        continue
+                    if kappa[m] > level:
+                        new = recompute(m, surviving_of(m))
+                        if new < level:
+                            new = level
+                        kappa[m] = new
+                        heap.push(new, m)
+        scores[:] = out
+        return scores
+
+    # --- bucket queue ----------------------------------------------------- #
+    # Bucket of a triangle = κ + 1; repairs can push κ up to the largest
+    # support size, so size the bucket table for max(initial κ, max support).
+    max_support = max(indptr[i + 1] - indptr[i] for i in range(num_triangles))
+    num_buckets = max(max(kappa), max_support) + 2
+    counts = [0] * num_buckets
+    for value in kappa:
+        counts[value + 1] += 1
+    bucket_start = [0] * (num_buckets + 1)
+    for b in range(num_buckets):
+        bucket_start[b + 1] = bucket_start[b] + counts[b]
+    fill = list(bucket_start)
+    order = [0] * num_triangles
+    position = [0] * num_triangles
+    for t in range(num_triangles):
+        p = fill[kappa[t] + 1]
+        order[p] = t
+        position[t] = p
+        fill[kappa[t] + 1] = p + 1
+
+    def move(m: int, old: int, new: int) -> None:
+        """Re-key triangle ``m`` from bucket ``old + 1`` to ``new + 1``."""
+        if new < old:
+            for b in range(old + 1, new + 1, -1):
+                start = bucket_start[b]
+                displaced = order[start]
+                where = position[m]
+                order[where] = displaced
+                order[start] = m
+                position[displaced] = where
+                position[m] = start
+                bucket_start[b] = start + 1
+        else:
+            for b in range(old + 2, new + 2):
+                last = bucket_start[b] - 1
+                displaced = order[last]
+                where = position[m]
+                order[where] = displaced
+                order[last] = m
+                position[displaced] = where
+                position[m] = last
+                bucket_start[b] = last
+
+    level = NO_VALID_K
+    dirty = [False] * num_triangles
+    for i in range(num_triangles):
+        # The queue holds lower bounds; settle the front before peeling: a
+        # dirty front triangle is recomputed exactly, and if its true κ
+        # exceeds the bound it moves right, pulling the next candidate into
+        # position ``i``.
+        t = order[i]
+        while dirty[t]:
+            dirty[t] = False
+            exact = recompute(t, surviving_of(t))
+            if exact < level:
+                exact = level
+            if exact <= kappa[t]:
+                break
+            move(t, kappa[t], exact)
+            kappa[t] = exact
+            t = order[i]
+        if kappa[t] > level:
+            level = kappa[t]
+        out[t] = level
+
+        # Every 4-clique through the peeled triangle dies; each affected
+        # triangle steps one bucket down per lost clique (unit-drop keeps
+        # the bound valid) and its exact κ is deferred to its own pop.
+        for j in range(indptr[t], indptr[t + 1]):
+            if not pair_alive[j]:
+                continue
+            c = pair_cliques[j]
+            for pair_position in clique_positions[c]:
+                pair_alive[pair_position] = False
+            for m in clique_members[c]:
+                if m == t or position[m] <= i:
+                    continue
+                old = kappa[m]
+                if old <= level:
+                    continue
+                move(m, old, old - 1)
+                kappa[m] = old - 1
+                dirty[m] = True
+
+    scores[:] = out
+    return scores

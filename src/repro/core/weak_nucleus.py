@@ -133,8 +133,10 @@ def weak_nucleus_decomposition(
     :func:`repro.core.global_nucleus.global_nucleus_decomposition`; the
     returned nuclei carry ``mode="weakly-global"``.  ``backend`` selects both
     the engine of the candidate-producing local decomposition (``"dict"`` or
-    ``"csr"``, see :func:`repro.core.local.local_nucleus_decomposition`) and
-    the Monte-Carlo scorer: ``"dict"`` samples candidate worlds one at a time
+    ``"csr"``, the latter running the bucket-queue peel of
+    :mod:`repro.core.peel` — see
+    :func:`repro.core.local.local_nucleus_decomposition`) and the
+    Monte-Carlo scorer: ``"dict"`` samples candidate worlds one at a time
     (:func:`triangle_weak_scores`) while ``"csr"`` scores each candidate with
     the vectorized world-matrix engine
     (:func:`triangle_weak_scores_matrix`), optionally sharded across

@@ -48,6 +48,7 @@ __all__ = [
     "triangle_clique_index",
     "enumerate_k_cliques",
     "triangle_connected_components",
+    "concatenated_rows",
     "forward_adjacency_csr",
     "triangle_arrays_csr",
     "enumerate_triangles_csr",
@@ -239,14 +240,33 @@ def forward_adjacency_csr(
     with a single vectorized pass over the full adjacency arrays.
     """
     n = csr.num_vertices
-    degrees = np.diff(csr.indptr)
-    row_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    row_owner = csr.directed_edge_owners()
     keep = csr.indices > row_owner
     forward_indices = csr.indices[keep]
     forward_degrees = np.bincount(row_owner[keep], minlength=n)
     forward_indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(forward_degrees, out=forward_indptr[1:])
     return forward_indptr, forward_indices
+
+
+def concatenated_rows(
+    indptr: np.ndarray, indices: np.ndarray, owners: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather ``indices[indptr[o]:indptr[o + 1]]`` for every ``o`` in ``owners``.
+
+    Returns ``(members, sizes)`` where ``members`` is the concatenation of the
+    selected CSR rows and ``sizes[i]`` is the length of the ``i``-th row — the
+    fully vectorized equivalent of concatenating per-row slices in a Python
+    loop, used by every batched wedge/extension enumeration.
+    """
+    sizes = (indptr[1:] - indptr[:-1])[owners]
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype), sizes
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(sizes) - sizes, sizes
+    )
+    return indices[np.repeat(indptr[owners], sizes) + offsets], sizes
 
 
 def triangle_arrays_csr(
@@ -256,43 +276,28 @@ def triangle_arrays_csr(
     """Return every triangle of a CSR graph as parallel ``(U, V, W)`` id arrays.
 
     Triangles satisfy ``U < V < W`` element-wise and are listed in
-    lexicographic order of ``(u, v, w)``.  The enumeration batches one
-    vertex at a time: for vertex ``u`` with forward neighbors ``H``, the
-    candidates are the concatenated forward rows of every ``v ∈ H``, and a
-    single binary-search membership test against ``H`` keeps exactly the
-    ``w`` that close a triangle — ordered-array merges instead of hash
-    lookups, a handful of numpy calls per vertex.
+    lexicographic order of ``(u, v, w)``.  The enumeration is one global
+    batch: every forward edge ``(u, v)`` contributes the forward row of ``v``
+    as candidate ``w`` values (wedges, in lexicographic ``(u, v, w)`` order),
+    and one composite-key binary search against the sorted forward-edge keys
+    ``u·n + w`` keeps exactly the wedges whose closing edge exists — no
+    per-vertex Python loop at all.
     """
     fptr, fidx = forward_adjacency_csr(csr) if forward is None else forward
-    forward_degrees = np.diff(fptr)
-    rows = [fidx[fptr[u]:fptr[u + 1]] for u in range(csr.num_vertices)]
-    u_parts: list[np.ndarray] = []
-    v_parts: list[np.ndarray] = []
-    w_parts: list[np.ndarray] = []
-    for u, head in enumerate(rows):
-        if head.size < 2:
-            continue
-        sizes = forward_degrees[head]
-        total = int(sizes.sum())
-        if total == 0:
-            continue
-        neighbor_rows = [rows[v] for v in head.tolist()]
-        candidates = np.concatenate(neighbor_rows)
-        owners = np.repeat(head, sizes)
-        closing = _members_of_sorted_mask(candidates, head)
-        count = int(closing.sum())
-        if count:
-            u_parts.append(np.full(count, u, dtype=np.int64))
-            v_parts.append(owners[closing])
-            w_parts.append(candidates[closing])
-    if not u_parts:
-        empty = np.empty(0, dtype=np.int64)
+    n = csr.num_vertices
+    empty = np.empty(0, dtype=np.int64)
+    if fidx.size == 0:
         return empty, empty.copy(), empty.copy()
-    return (
-        np.concatenate(u_parts),
-        np.concatenate(v_parts),
-        np.concatenate(w_parts),
-    )
+    edge_u = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
+    # Forward-edge keys are globally sorted: owners ascend, rows are sorted.
+    edge_keys = edge_u * n + fidx
+    w_ids, sizes = concatenated_rows(fptr, fidx, fidx)
+    if w_ids.size == 0:
+        return empty, empty.copy(), empty.copy()
+    u_ids = np.repeat(edge_u, sizes)
+    v_ids = np.repeat(fidx, sizes)
+    closing = _members_of_sorted_mask(u_ids * n + w_ids, edge_keys)
+    return u_ids[closing], v_ids[closing], w_ids[closing]
 
 
 def enumerate_triangles_csr(csr: CSRProbabilisticGraph) -> Iterator[IntTriangle]:

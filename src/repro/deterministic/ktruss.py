@@ -14,10 +14,9 @@ each destroyed triangle.
 
 from __future__ import annotations
 
-import heapq
-
 from repro.exceptions import InvalidParameterError
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge
+from repro.peeling import LazyMinHeap
 
 __all__ = ["edge_supports", "truss_decomposition", "k_truss_subgraph", "max_truss_number"]
 
@@ -41,19 +40,16 @@ def truss_decomposition(graph: ProbabilisticGraph) -> dict[Edge, int]:
     alive: set[Edge] = set(supports)
     adjacency: dict = {v: set(graph.neighbors(v)) for v in graph.vertices()}
 
-    heap: list[tuple[int, Edge]] = [(s, e) for e, s in supports.items()]
-    heapq.heapify(heap)
+    heap = LazyMinHeap((s, e) for e, s in supports.items())
+
+    def current(edge: Edge) -> int | None:
+        return supports[edge] if edge in alive else None
+
     truss: dict[Edge, int] = {}
     current_level = 0
 
-    while heap:
-        support, edge = heapq.heappop(heap)
-        if edge not in alive:
-            continue
-        if support > supports[edge]:
-            # stale heap entry; the edge has a fresher (smaller) support
-            heapq.heappush(heap, (supports[edge], edge))
-            continue
+    while (entry := heap.pop(current)) is not None:
+        _, edge = entry
         current_level = max(current_level, supports[edge])
         truss[edge] = current_level
         alive.remove(edge)
@@ -64,7 +60,7 @@ def truss_decomposition(graph: ProbabilisticGraph) -> dict[Edge, int]:
             for other in (canonical_edge(u, w), canonical_edge(v, w)):
                 if other in alive and supports[other] > current_level:
                     supports[other] -= 1
-                    heapq.heappush(heap, (supports[other], other))
+                    heap.push(supports[other], other)
     return truss
 
 

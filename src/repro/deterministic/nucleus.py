@@ -24,7 +24,6 @@ skeleton with probabilistic support scores.
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Iterable
 
 from repro.deterministic.cliques import (
@@ -34,6 +33,7 @@ from repro.deterministic.cliques import (
 )
 from repro.exceptions import InvalidParameterError
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge
+from repro.peeling import LazyMinHeap
 
 __all__ = [
     "nucleus_decomposition",
@@ -59,18 +59,16 @@ def nucleus_decomposition(graph: ProbabilisticGraph) -> dict[Triangle, int]:
     alive_cliques = set(by_clique)
     processed: set[Triangle] = set()
 
-    heap: list[tuple[int, Triangle]] = [(s, t) for t, s in support.items()]
-    heapq.heapify(heap)
+    heap = LazyMinHeap((s, t) for t, s in support.items())
+
+    def current(triangle: Triangle) -> int | None:
+        return None if triangle in processed else support[triangle]
+
     nucleusness: dict[Triangle, int] = {}
     current_level = 0
 
-    while heap:
-        value, triangle = heapq.heappop(heap)
-        if triangle in processed:
-            continue
-        if value > support[triangle]:
-            heapq.heappush(heap, (support[triangle], triangle))
-            continue
+    while (entry := heap.pop(current)) is not None:
+        _, triangle = entry
         current_level = max(current_level, support[triangle])
         nucleusness[triangle] = current_level
         processed.add(triangle)
@@ -83,7 +81,7 @@ def nucleus_decomposition(graph: ProbabilisticGraph) -> dict[Triangle, int]:
                     continue
                 if support[other] > current_level:
                     support[other] -= 1
-                    heapq.heappush(heap, (support[other], other))
+                    heap.push(support[other], other)
     return nucleusness
 
 

@@ -231,6 +231,35 @@ class CSRProbabilisticGraph:
         return float(self.neighbor_probabilities_row(i)[pos])
 
     # ------------------------------------------------------------------ #
+    # flat edge arrays (consumed by the batched engines)
+    # ------------------------------------------------------------------ #
+    def directed_edge_owners(self) -> np.ndarray:
+        """Return the owning row id of every directed edge copy.
+
+        The result is parallel to :attr:`indices` / :attr:`probabilities`:
+        entry ``j`` is the vertex whose adjacency row stores position ``j``.
+        Because rows are stored in ascending order, the array is sorted, so
+        composite keys ``owner·n + neighbor`` built from it are globally
+        sorted too — the property every composite-key binary search in the
+        batched engines (:mod:`repro.core.batch`,
+        :mod:`repro.sampling.world_matrix`) relies on.
+        """
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def undirected_edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the undirected edges as ``(edge_u, edge_v, probabilities)``.
+
+        One entry per undirected edge with ``edge_u < edge_v``, sorted
+        lexicographically by ``(u, v)`` — the canonical edge-column order of
+        the world-matrix sampler and the index file format.
+        """
+        owners = self.directed_edge_owners()
+        upper = self.indices > owners
+        return owners[upper], self.indices[upper], self.probabilities[upper]
+
+    # ------------------------------------------------------------------ #
     # queries (original-label space)
     # ------------------------------------------------------------------ #
     def has_vertex(self, label: Vertex) -> bool:

@@ -4,7 +4,9 @@ These are the wiring between the three decomposition entry points of
 :mod:`repro.core` and the persistent :class:`~repro.index.NucleusIndex`:
 
 * :func:`build_local_index` — ``local_nucleus_decomposition`` → index with
-  every level ``0 … max_score``;
+  every level ``0 … max_score``; on ``backend="csr"`` the snapshot is taken
+  *directly* from the peel engine's output arrays
+  (:mod:`repro.core.peel`), with no label-space result object in between;
 * :func:`build_global_index` / :func:`build_weak_index` — Algorithm 2 / 3 at
   one ``k`` → index with that single level;
 * :func:`build_index` — mode-dispatching convenience used by the
@@ -21,10 +23,17 @@ import random
 import numpy as np
 
 from repro.core.approximations import SupportEstimator
+from repro.core.batch import CSRTriangleIndex
 from repro.core.global_nucleus import global_nucleus_decomposition
-from repro.core.local import local_nucleus_decomposition
+from repro.core.local import (
+    BACKENDS,
+    _csr_engine_arrays,
+    local_nucleus_decomposition,
+    resolve_local_options,
+)
 from repro.core.result import LocalNucleusDecomposition
 from repro.core.weak_nucleus import weak_nucleus_decomposition
+from repro.deterministic.connectivity import UnionFind
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
@@ -41,6 +50,90 @@ __all__ = [
 load_index = NucleusIndex.load
 
 
+def _nucleus_level_groups(
+    scores: np.ndarray, index: CSRTriangleIndex
+) -> dict[int, list[list[int]]]:
+    """Compute the per-level nucleus components from the engine's arrays.
+
+    Id-space replica of
+    :func:`repro.deterministic.nucleus.k_nucleus_triangle_groups` for every
+    level ``0 … max ν``: a 4-clique connects its members at level ``k`` only
+    when all four member triangles score at least ``k`` (equivalently, its
+    minimum member score is at least ``k``), a triangle belongs to a
+    component only when at least one such clique covers it, and the
+    components are the union-find closure over the allowed cliques.
+
+    Because the allowed-clique sets are nested downwards (a clique allowed
+    at ``k`` is allowed at every smaller level), one descending sweep
+    suffices: cliques enter a single incremental
+    :class:`~repro.deterministic.connectivity.UnionFind` at the level equal
+    to their minimum member score, and each level just snapshots the
+    components of its covered triangles.  Groups are sorted the way
+    :meth:`NucleusIndex.from_local_result` sorts them, so the resulting
+    snapshot is identical to the dict-result detour.
+    """
+    num_triangles = scores.size
+    max_score = int(scores.max()) if num_triangles else -1
+    level_groups: dict[int, list[list[int]]] = {}
+    if max_score < 0:
+        return level_groups
+
+    clique_triangles = index.clique_triangles
+    members_list = clique_triangles.tolist()
+    clique_min_score = (
+        scores[clique_triangles].min(axis=1)
+        if clique_triangles.shape[0]
+        else np.empty(0, dtype=np.int64)
+    )
+    entry_order = np.argsort(-clique_min_score, kind="stable").tolist()
+    entry_levels = clique_min_score[entry_order].tolist() if entry_order else []
+
+    components = UnionFind(num_triangles)
+    covered_count = np.zeros(num_triangles, dtype=np.int64)
+    next_entry = 0
+    for k in range(max_score, -1, -1):
+        while next_entry < len(entry_order) and entry_levels[next_entry] >= k:
+            t0, t1, t2, t3 = members_list[entry_order[next_entry]]
+            next_entry += 1
+            components.union(t0, t1)
+            components.union(t0, t2)
+            components.union(t0, t3)
+            covered_count[t0] += 1
+            covered_count[t1] += 1
+            covered_count[t2] += 1
+            covered_count[t3] += 1
+        covered = (scores >= k) & (covered_count > 0)
+        groups: dict[int, list[int]] = {}
+        for t in np.flatnonzero(covered).tolist():
+            groups.setdefault(components.find(t), []).append(t)
+        level_groups[k] = sorted(groups.values())
+    return level_groups
+
+
+def _build_local_index_csr(
+    graph: ProbabilisticGraph | CSRProbabilisticGraph,
+    theta: float,
+    estimator: SupportEstimator | None,
+    params: dict,
+) -> NucleusIndex:
+    """Snapshot the CSR peel engine's output arrays without a dict-result detour."""
+    estimator = resolve_local_options(theta, estimator)
+    csr = graph if isinstance(graph, CSRProbabilisticGraph) else graph.to_csr()
+    index, scores = _csr_engine_arrays(csr, theta, estimator)
+    rows = np.asarray(index.triangles, dtype=np.int64).reshape(len(index.triangles), 3)
+    merged = {"estimator": estimator.name}
+    merged.update(params)
+    return NucleusIndex.from_triangle_arrays(
+        csr,
+        rows,
+        scores,
+        _nucleus_level_groups(scores, index),
+        mode="local",
+        theta=theta,
+        params=merged,
+    )
+
+
 def build_local_index(
     graph: ProbabilisticGraph | CSRProbabilisticGraph,
     theta: float,
@@ -48,8 +141,23 @@ def build_local_index(
     backend: str = "dict",
     local_result: LocalNucleusDecomposition | None = None,
 ) -> NucleusIndex:
-    """Run the local decomposition (unless ``local_result`` is given) and index it."""
+    """Run the local decomposition (unless ``local_result`` is given) and index it.
+
+    With ``backend="csr"`` (or a CSR graph input) the decomposition runs on
+    the array-native peel engine and the index is snapshotted straight from
+    its output arrays — no per-triangle label-space objects are built on the
+    way to the ``.npz``.  The result is bit-identical to the dict-result
+    detour (pinned in ``tests/test_nucleus_index.py``).
+    """
     if local_result is None:
+        if backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend == "csr" or isinstance(graph, CSRProbabilisticGraph):
+            return _build_local_index_csr(
+                graph, theta, estimator, params={"backend": backend}
+            )
         local_result = local_nucleus_decomposition(
             graph, theta, estimator=estimator, backend=backend
         )

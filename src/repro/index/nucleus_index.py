@@ -314,6 +314,49 @@ class NucleusIndex:
     # construction from decomposition results
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_triangle_arrays(
+        cls,
+        csr: CSRProbabilisticGraph,
+        triangle_rows: np.ndarray,
+        triangle_scores: np.ndarray,
+        level_groups: dict[int, list[list[int]]],
+        *,
+        mode: str,
+        theta: float,
+        params: dict | None = None,
+    ) -> "NucleusIndex":
+        """Snapshot a decomposition handed over directly as CSR-id arrays.
+
+        This is the no-detour entry point for the array-native engine paths:
+        ``triangle_rows`` is the ``(T, 3)`` id-triple array (each row sorted
+        ascending, rows in lexicographic order), ``triangle_scores`` the
+        parallel ν array, and ``level_groups`` maps each indexed level ``k``
+        to its components as lists of positions into ``triangle_rows``.  The
+        produced index is identical to what :meth:`from_local_result` /
+        :meth:`from_nuclei` build from the equivalent label-space result
+        objects.
+        """
+        rows = np.ascontiguousarray(triangle_rows, dtype=np.int64).reshape(-1, 3)
+        scores = np.ascontiguousarray(triangle_scores, dtype=np.int64)
+        if scores.shape != (rows.shape[0],):
+            raise InvalidParameterError(
+                "triangle_scores must be parallel to triangle_rows"
+            )
+        if mode not in _MODES:
+            raise InvalidParameterError(f"unknown mode {mode!r}")
+        if rows.shape[0]:
+            if not ((rows[:, 0] < rows[:, 1]) & (rows[:, 1] < rows[:, 2])).all():
+                raise InvalidParameterError(
+                    "every triangle row must list its vertex ids in ascending order"
+                )
+            order = np.lexsort((rows[:, 2], rows[:, 1], rows[:, 0]))
+            if not np.array_equal(order, np.arange(rows.shape[0])):
+                raise InvalidParameterError(
+                    "triangle_rows must be sorted lexicographically"
+                )
+        return cls._build(csr, rows, scores, level_groups, mode, theta, dict(params or {}))
+
+    @classmethod
     def from_local_result(
         cls, result: LocalNucleusDecomposition, params: dict | None = None
     ) -> "NucleusIndex":
@@ -407,12 +450,8 @@ class NucleusIndex:
         t_count = triangle_rows.shape[0]
 
         # Undirected edge records, ordered by (u, v): because CSR rows are
-        # sorted, masking the upper-triangular copies yields sorted keys.
-        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
-        upper = csr.indices > row_of
-        edge_u = row_of[upper]
-        edge_v = csr.indices[upper]
-        edge_prob = csr.probabilities[upper]
+        # sorted, the upper-triangular extraction yields sorted keys.
+        edge_u, edge_v, edge_prob = csr.undirected_edge_arrays()
         edge_keys = edge_u * n + edge_v
 
         vertex_max_score = np.full(n, -1, dtype=np.int64)

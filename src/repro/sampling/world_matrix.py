@@ -47,7 +47,6 @@ hit counts.
 
 from __future__ import annotations
 
-import heapq
 import random
 from dataclasses import dataclass, field
 
@@ -56,12 +55,15 @@ import numpy as np
 from repro.deterministic.cliques import (
     Triangle,
     canonical_triangle,
+    concatenated_rows,
     forward_adjacency_csr,
     triangle_arrays_csr,
 )
+from repro.deterministic.connectivity import UnionFind
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.peeling import LazyMinHeap
 
 __all__ = [
     "CandidateWorldIndex",
@@ -205,12 +207,7 @@ class CandidateWorldIndex:
         """
         csr = graph if isinstance(graph, CSRProbabilisticGraph) else graph.to_csr()
         n = csr.num_vertices
-        degrees = np.diff(csr.indptr)
-        row_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
-        keep = csr.indices > row_owner
-        edge_u = row_owner[keep]
-        edge_v = csr.indices[keep]
-        edge_probabilities = csr.probabilities[keep]
+        edge_u, edge_v, edge_probabilities = csr.undirected_edge_arrays()
         # Composite keys u·n + v are globally sorted (rows ascend, neighbor
         # ids ascend within a row), so edge columns resolve by binary search.
         edge_keys = edge_u * n + edge_v
@@ -252,9 +249,8 @@ class CandidateWorldIndex:
 
         # --- batched 4-clique enumeration (cf. repro.core.batch) ---------- #
         fptr, fidx = forward
-        sizes = np.diff(fptr)[w_ids]
-        if int(sizes.sum()):
-            candidates = np.concatenate([fidx[fptr[w] : fptr[w + 1]] for w in w_ids.tolist()])
+        candidates, sizes = concatenated_rows(fptr, fidx, w_ids)
+        if candidates.size:
             owner = np.repeat(np.arange(num_triangles, dtype=np.int64), sizes)
             for endpoint in (v_ids, u_ids):
                 positions = np.searchsorted(edge_keys, endpoint[owner] * n + candidates)
@@ -381,24 +377,13 @@ def _connected_through_cliques(index: CandidateWorldIndex, clique_row: np.ndarra
     present = np.flatnonzero(clique_row)
     if present.size == 0:
         return False
-    parent: dict[int, int] = {}
-
-    def find(x: int) -> int:
-        root = x
-        while parent.get(root, root) != root:
-            root = parent[root]
-        while parent.get(x, x) != x:
-            parent[x], x = root, parent[x]
-        return root
-
+    components = UnionFind(index.num_triangles)
     members = index.clique_triangles[present]
     for t0, t1, t2, t3 in members.tolist():
-        r0 = find(t0)
-        for other in (t1, t2, t3):
-            r = find(other)
-            if r != r0:
-                parent[r] = r0
-    roots = {find(int(t)) for t in np.unique(members)}
+        components.union(t0, t1)
+        components.union(t0, t2)
+        components.union(t0, t3)
+    roots = {components.find(int(t)) for t in np.unique(members)}
     return len(roots) == 1
 
 
@@ -509,18 +494,16 @@ def _world_weak_covered(
         cliques_of[t] = mine
         support[t] = len(mine)
 
-    heap = [(s, t) for t, s in support.items()]
-    heapq.heapify(heap)
+    heap = LazyMinHeap((s, t) for t, s in support.items())
     processed: set[int] = set()
     nucleusness: dict[int, int] = {}
     current_level = 0
-    while heap:
-        value, triangle = heapq.heappop(heap)
-        if triangle in processed:
-            continue
-        if value > support[triangle]:
-            heapq.heappush(heap, (support[triangle], triangle))
-            continue
+
+    def current(triangle: int) -> int | None:
+        return None if triangle in processed else support[triangle]
+
+    while (entry := heap.pop(current)) is not None:
+        _, triangle = entry
         current_level = max(current_level, support[triangle])
         nucleusness[triangle] = current_level
         processed.add(triangle)
@@ -533,7 +516,7 @@ def _world_weak_covered(
                     continue
                 if support[other] > current_level:
                     support[other] -= 1
-                    heapq.heappush(heap, (support[other], other))
+                    heap.push(support[other], other)
 
     qualifying = {t for t, value in nucleusness.items() if value >= k}
     if not qualifying:

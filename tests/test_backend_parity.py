@@ -8,6 +8,8 @@ and weakly-global output on every seed fixture, for every support estimator.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.approximations import (
@@ -20,10 +22,18 @@ from repro.core.approximations import (
 from repro.core.global_nucleus import global_nucleus_decomposition
 from repro.core.hybrid import HybridEstimator
 from repro.core.local import local_nucleus_decomposition
-from repro.core.weak_nucleus import weak_nucleus_decomposition
+from repro.core.weak_nucleus import (
+    triangle_weak_scores,
+    triangle_weak_scores_matrix,
+    weak_nucleus_decomposition,
+)
+from repro.deterministic.nucleus import is_k_nucleus
 from repro.exceptions import InvalidParameterError
-from repro.graph.generators import clique_graph
+from repro.graph.generators import clique_graph, erdos_renyi_graph
+from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.sampling.monte_carlo import hoeffding_error_bound
+from repro.sampling.world_matrix import CandidateWorldIndex, global_triangle_counts
 
 ESTIMATORS = [
     DynamicProgrammingEstimator,
@@ -145,6 +155,113 @@ class TestWeakParity:
         )
         assert {n.triangles for n in actual} == {n.triangles for n in expected}
         assert actual and expected
+
+
+class TestRandomizedParitySweep:
+    """Seeded Erdős–Rényi sweep: dict, csr, and the peel engine must agree.
+
+    The local decomposition (whose ``backend="csr"`` path *is* the peel
+    engine) is compared exactly; the Monte-Carlo global and weak estimates
+    are compared within Hoeffding bounds, since the two backends draw their
+    worlds from different (identically distributed) random streams.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("theta", [0.05, 0.35])
+    def test_local_scores_and_nuclei_exact(self, seed, theta):
+        graph = erdos_renyi_graph(26, 0.28, seed=seed)
+        expected = local_nucleus_decomposition(graph, theta, backend="dict")
+        actual = local_nucleus_decomposition(graph, theta, backend="csr")
+        assert actual.scores == expected.scores
+        for k in range(expected.max_score + 1):
+            expected_groups = {n.triangles for n in expected.nuclei(k)}
+            actual_groups = {n.triangles for n in actual.nuclei(k)}
+            assert actual_groups == expected_groups, (seed, theta, k)
+
+    @pytest.mark.parametrize("estimator_cls", ESTIMATORS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_local_parity_on_dense_graphs_for_every_estimator(
+        self, estimator_cls, seed
+    ):
+        # Dense 4-clique-rich instances where the peel repairs many scores:
+        # the approximated tails are not monotone under clique removal (a
+        # death can *raise* the Normal estimator's κ), so the engine must
+        # follow the reference loop's per-clique repair schedule exactly —
+        # this sweep caught a repair-coalescing regression once.
+        from repro.graph.generators import uniform_probability
+
+        graph = erdos_renyi_graph(
+            14, 0.68, probability_model=uniform_probability(0.3, 1.0), seed=seed
+        )
+        for theta in (0.2, 0.5):
+            expected = local_nucleus_decomposition(
+                graph, theta, estimator=estimator_cls(), backend="dict"
+            )
+            actual = local_nucleus_decomposition(
+                graph, theta, estimator=estimator_cls(), backend="csr"
+            )
+            assert actual.scores == expected.scores, (estimator_cls.__name__, theta)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_weak_scores_within_hoeffding(self, seed):
+        graph = erdos_renyi_graph(9, 0.6, seed=seed)
+        k, n_samples, delta = 1, 1500, 1e-4
+        epsilon = hoeffding_error_bound(n_samples, delta)
+        dict_scores = triangle_weak_scores(graph, k, n_samples, random.Random(seed))
+        matrix_scores = triangle_weak_scores_matrix(
+            graph, k, n_samples, seed=seed + 1
+        )
+        assert set(dict_scores) == set(matrix_scores)
+        for triangle, score in dict_scores.items():
+            assert abs(score - matrix_scores[triangle]) <= 2 * epsilon
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_global_counts_within_hoeffding(self, seed):
+        graph = erdos_renyi_graph(8, 0.7, seed=seed)
+        k, n_samples, delta = 1, 1500, 1e-4
+        epsilon = hoeffding_error_bound(n_samples, delta)
+
+        index = CandidateWorldIndex.from_graph(graph)
+        labels = index.triangle_labels()
+        worlds = index.sample(n_samples, seed=seed + 1)
+        matrix_estimates = dict(
+            zip(labels, (global_triangle_counts(index, worlds, k) / n_samples).tolist())
+        )
+
+        rng = random.Random(seed)
+        dict_counts = dict.fromkeys(labels, 0)
+        for _ in range(n_samples):
+            world = sample_world(graph, rng=rng)
+            if not is_k_nucleus(world, k):
+                continue
+            for triangle in labels:
+                u, v, w = triangle
+                if (
+                    world.has_edge(u, v)
+                    and world.has_edge(u, w)
+                    and world.has_edge(v, w)
+                ):
+                    dict_counts[triangle] += 1
+
+        for triangle in labels:
+            dict_estimate = dict_counts[triangle] / n_samples
+            assert abs(matrix_estimates[triangle] - dict_estimate) <= 2 * epsilon
+
+    @pytest.mark.parametrize("seed", [2, 7])
+    def test_global_and_weak_decompositions_on_certain_er_graph(self, seed):
+        # Forcing every probability to 1 collapses the sampling noise, so
+        # the full Algorithm 2/3 pipelines must agree across backends even
+        # though they route through different peel and sampling engines.
+        topology = erdos_renyi_graph(12, 0.55, seed=seed)
+        graph = ProbabilisticGraph((u, v, 1.0) for u, v, _ in topology.edges())
+        for decomposition in (global_nucleus_decomposition, weak_nucleus_decomposition):
+            expected = decomposition(
+                graph, k=1, theta=0.9, n_samples=30, seed=seed, backend="dict"
+            )
+            actual = decomposition(
+                graph, k=1, theta=0.9, n_samples=30, seed=seed, backend="csr"
+            )
+            assert {n.triangles for n in actual} == {n.triangles for n in expected}
 
 
 class TestGlobalParity:

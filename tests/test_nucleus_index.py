@@ -200,6 +200,74 @@ class TestBuilders:
 
 
 # --------------------------------------------------------------------------- #
+# the direct array-snapshot path (no dict-result detour on backend="csr")
+# --------------------------------------------------------------------------- #
+class TestDirectArraySnapshot:
+    @pytest.mark.parametrize("name", DATASET_NAMES[:3])
+    def test_csr_build_equals_dict_result_detour(self, name):
+        graph = load_dataset(name, scale="tiny")
+        direct = build_local_index(graph, THETA, backend="csr")
+        detour = NucleusIndex.from_local_result(
+            local_nucleus_decomposition(graph, THETA, backend="csr"),
+            params={"backend": "csr"},
+        )
+        assert direct == detour
+
+    def test_csr_and_dict_backends_agree_on_arrays(self, planted):
+        direct = build_local_index(planted, THETA, backend="csr")
+        via_dict = build_local_index(planted, THETA, backend="dict")
+        # Headers differ only in the recorded backend; every array (graph,
+        # scores, components, postings) must be identical.
+        for name in direct.arrays:
+            assert np.array_equal(direct.arrays[name], via_dict.arrays[name]), name
+        assert direct.fingerprint == via_dict.fingerprint
+        assert direct.params["estimator"] == via_dict.params["estimator"]
+
+    def test_csr_graph_input_uses_direct_path(self, planted, tmp_path):
+        index = build_local_index(planted.to_csr(), THETA)
+        assert index.mode == "local"
+        loaded = load_index(index.save(tmp_path / "direct.npz"), graph=planted)
+        assert loaded == index
+
+    def test_direct_path_validates_theta_and_backend(self, planted):
+        # The no-detour path must reject the same bad parameters the
+        # decomposition entry point rejects.
+        with pytest.raises(InvalidParameterError):
+            build_local_index(planted, 1.5, backend="csr")
+        with pytest.raises(InvalidParameterError):
+            build_local_index(planted.to_csr(), -0.1)
+        with pytest.raises(InvalidParameterError):
+            build_local_index(planted, THETA, backend="bogus")
+
+    def test_from_triangle_arrays_validates_input(self, planted):
+        csr = planted.to_csr()
+        rows = np.array([[0, 1, 2], [0, 1, 3]], dtype=np.int64)
+        scores = np.zeros(2, dtype=np.int64)
+        with pytest.raises(InvalidParameterError):
+            NucleusIndex.from_triangle_arrays(
+                csr, rows, np.zeros(3, dtype=np.int64), {}, mode="local", theta=0.3
+            )
+        with pytest.raises(InvalidParameterError):
+            NucleusIndex.from_triangle_arrays(
+                csr, rows[::-1].copy(), scores, {}, mode="local", theta=0.3
+            )
+        descending_row = np.array([[2, 1, 0]], dtype=np.int64)
+        with pytest.raises(InvalidParameterError):
+            NucleusIndex.from_triangle_arrays(
+                csr,
+                descending_row,
+                np.zeros(1, dtype=np.int64),
+                {},
+                mode="local",
+                theta=0.3,
+            )
+        with pytest.raises(InvalidParameterError):
+            NucleusIndex.from_triangle_arrays(
+                csr, rows, scores, {}, mode="sideways", theta=0.3
+            )
+
+
+# --------------------------------------------------------------------------- #
 # failure modes of load()
 # --------------------------------------------------------------------------- #
 class TestLoadFailures:
