@@ -1,0 +1,166 @@
+"""Benchmark: declarative pipeline (csr + cache + jobs) vs the legacy serial dict path.
+
+The seed-era experiment harness ran every table/figure serially on the dict
+backend, recomputing each pruning decomposition from scratch.  This benchmark
+replays a suite of the two most decomposition-hungry experiments (Figure 5
+and Figure 8, which share their θ = 0.001 local decompositions) both ways
+through the same :func:`~repro.experiments.pipeline.run_pipeline` entry
+point:
+
+* **legacy** — ``backend="dict"``, ``n_jobs=1``, cache disabled: exactly the
+  pre-pipeline execution model;
+* **pipeline** — ``backend="csr"``, a shared on-disk snapshot cache, and
+  parallel grid cells.
+
+CI's ``bench-smoke`` job runs this at ``--scale small`` with
+``--min-speedup 2``: the modernised path must finish the suite at least
+twice as fast end-to-end *and* must reload at least one cached
+decomposition snapshot (the counter is part of the emitted
+``BENCH_experiment_pipeline.json``).  Standalone usage::
+
+    python benchmarks/bench_experiment_pipeline.py --scale small --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from repro.experiments.pipeline import RunConfig, run_pipeline
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.experiments.pipeline import RunConfig, run_pipeline
+
+DEFAULT_JSON = "BENCH_experiment_pipeline.json"
+
+#: The benchmarked suite: Figure 8 reuses the θ = 0.001 local decompositions
+#: Figure 5 builds, so the pipeline side exercises every speed lever at once
+#: (csr engines, snapshot reuse, parallel cells).  Sample sizes match the
+#: retired per-experiment drivers.
+SUITE: dict[str, dict] = {
+    "figure5": {"names": ("krogan", "dblp", "flickr"), "n_samples": 100, "seed": 0},
+    "figure8": {"names": ("krogan",), "n_samples": 50, "seed": 0},
+}
+
+
+def _run_suite(config: RunConfig) -> tuple[float, dict]:
+    """Run the suite under ``config``; return (wall seconds, per-spec stats)."""
+    start = time.perf_counter()
+    runs = run_pipeline(list(SUITE), config, SUITE)
+    seconds = time.perf_counter() - start
+    stats = {
+        name: {
+            "rows": len(run.rows),
+            "seconds": run.total_seconds,
+            "cache_hits": run.cache_hits,
+            "cache_misses": run.cache_misses,
+        }
+        for name, run in runs.items()
+    }
+    return seconds, stats
+
+
+def run_experiment_pipeline(scale: str = "tiny", jobs: int = 2) -> dict:
+    """Time the legacy serial dict path against the full pipeline."""
+    legacy_config = RunConfig(backend="dict", scale=scale, n_jobs=1, use_cache=False)
+    legacy_seconds, legacy_stats = _run_suite(legacy_config)
+
+    with tempfile.TemporaryDirectory(prefix="bench-exp-cache-") as cache_dir:
+        pipeline_config = RunConfig(
+            backend="csr", scale=scale, n_jobs=jobs, use_cache=True, cache_dir=cache_dir
+        )
+        pipeline_seconds, pipeline_stats = _run_suite(pipeline_config)
+
+    cache_hits = sum(s["cache_hits"] for s in pipeline_stats.values())
+    return {
+        "benchmark": "experiment_pipeline",
+        "scale": scale,
+        "jobs": jobs,
+        "suite": {name: dict(overrides) for name, overrides in SUITE.items()},
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "legacy": {"seconds": legacy_seconds, "specs": legacy_stats},
+        "pipeline": {"seconds": pipeline_seconds, "specs": pipeline_stats},
+        "summary": {
+            "speedup": legacy_seconds / pipeline_seconds,
+            "cache_hits": cache_hits,
+        },
+    }
+
+
+def format_experiment_pipeline(report: dict) -> str:
+    lines = [
+        f"scale={report['scale']} jobs={report['jobs']} suite={list(report['suite'])}",
+        f"{'path':<10} {'total (s)':>10}  per-spec seconds",
+        "-" * 60,
+    ]
+    for path in ("legacy", "pipeline"):
+        per_spec = ", ".join(
+            f"{name}={stats['seconds']:.2f}" for name, stats in report[path]["specs"].items()
+        )
+        lines.append(f"{path:<10} {report[path]['seconds']:>10.2f}  {per_spec}")
+    summary = report["summary"]
+    lines.append(
+        f"speedup: {summary['speedup']:.2f}x  cache hits: {summary['cache_hits']}"
+    )
+    return "\n".join(lines)
+
+
+def test_experiment_pipeline(benchmark, bench_scale, tmp_path):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_experiment_pipeline, scale=bench_scale)
+    (tmp_path / DEFAULT_JSON).write_text(json.dumps(report, indent=2))
+    # The acceptance headline: modern path faster, and the cache is exercised.
+    assert report["summary"]["speedup"] > 1.0
+    assert report["summary"]["cache_hits"] > 0
+    print()
+    print(format_experiment_pipeline(report))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_JSON,
+        metavar="PATH",
+        help=f"write the machine-readable report here (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the pipeline beats the legacy path by at least X",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_experiment_pipeline(scale=args.scale, jobs=args.jobs)
+    Path(args.json).write_text(json.dumps(report, indent=2))
+    print(format_experiment_pipeline(report))
+    print(f"report written to {args.json}")
+
+    if args.min_speedup is not None:
+        if report["summary"]["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: speedup {report['summary']['speedup']:.2f}x "
+                f"< required {args.min_speedup:.2f}x"
+            )
+            return 1
+        if report["summary"]["cache_hits"] == 0:
+            print("FAIL: the decomposition cache was never hit")
+            return 1
+        print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,15 @@
-"""Experiment harness: one module per table/figure of the paper's evaluation.
+"""Experiment harness: a declarative pipeline over the paper's evaluation.
 
-See DESIGN.md for the experiment index.  Every module exposes a ``run_*``
-function returning structured rows and a ``format_*`` function rendering them
-in the paper's layout; :mod:`repro.experiments.runner` wires them to the
+Every table/figure of the paper is described by an
+:class:`~repro.experiments.pipeline.ExperimentSpec` (parameter grid, per-cell
+computation, row schema, paper-layout formatter) registered in
+:mod:`repro.experiments.registry` and executed by the shared pipeline of
+:mod:`repro.experiments.pipeline` — one code path with a
+:class:`~repro.experiments.pipeline.RunConfig` (backend/scale/seed/jobs),
+decomposition snapshots cached as :class:`~repro.index.NucleusIndex` files,
+parallel grid cells, and ``EXPERIMENTS_<name>.json`` artifacts.  The legacy
+``run_*``/``format_*`` functions remain as thin wrappers;
+:mod:`repro.experiments.runner` wires everything to the
 ``python -m repro.experiments`` command line.
 """
 
@@ -14,6 +21,15 @@ from repro.experiments.datasets import (
     load_all,
     load_dataset,
 )
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    ExperimentRun,
+    RunConfig,
+    run_pipeline,
+    run_spec,
+    write_artifact,
+)
 
 __all__ = [
     "DATASET_NAMES",
@@ -22,4 +38,11 @@ __all__ = [
     "dataset_spec",
     "load_all",
     "load_dataset",
+    "DecompositionCache",
+    "ExperimentSpec",
+    "ExperimentRun",
+    "RunConfig",
+    "run_pipeline",
+    "run_spec",
+    "write_artifact",
 ]

@@ -10,7 +10,8 @@ exact DP, on a real dataset analogue:
 * the wall-clock time of the full decomposition.
 
 It also reports how often each branch of the hybrid selector fired, which
-shows how much work escapes to the DP fallback.
+shows how much work escapes to the DP fallback.  Because the reported times
+*are* the measurement, the cells bypass the decomposition cache entirely.
 """
 
 from __future__ import annotations
@@ -30,9 +31,16 @@ from repro.core.approximations import (
 from repro.core.hybrid import HybridEstimator
 from repro.core.local import local_nucleus_decomposition
 from repro.experiments.datasets import load_dataset
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
-__all__ = ["AblationHybridRow", "run_ablation_hybrid", "format_ablation_hybrid"]
+__all__ = ["SPEC", "AblationHybridRow", "run_ablation_hybrid", "format_ablation_hybrid"]
 
 
 @dataclass(frozen=True)
@@ -48,7 +56,22 @@ class AblationHybridRow:
     selections: dict[str, int] = field(default_factory=dict)
 
 
-def _estimators() -> list[SupportEstimator]:
+def _selections_text(row: AblationHybridRow) -> str:
+    if not row.selections:
+        return "-"
+    return ", ".join(f"{k}={v}" for k, v in sorted(row.selections.items()))
+
+
+COLUMNS = (
+    Column("estimator", 20),
+    Column("time (s)", 9, ".4f", key="seconds"),
+    Column("avg error", 10, ".4f", key="average_error"),
+    Column("% error", 8, ".2f", key="percent_with_error"),
+    Column("selections", 0, key=_selections_text),
+)
+
+
+def _default_estimators() -> list[SupportEstimator]:
     return [
         DynamicProgrammingEstimator(),
         HybridEstimator(),
@@ -59,20 +82,35 @@ def _estimators() -> list[SupportEstimator]:
     ]
 
 
-def run_ablation_hybrid(
-    dataset: str = "flickr",
-    theta: float = 0.2,
-    scale: str = "small",
-    graph: ProbabilisticGraph | None = None,
-    estimators: Sequence[SupportEstimator] | None = None,
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    cell = {
+        "dataset": overrides.get("dataset", "flickr"),
+        "theta": overrides.get("theta", 0.2),
+    }
+    if overrides.get("graph") is not None:
+        cell["graph"] = overrides["graph"]  # test-only injection; serial path
+    if overrides.get("estimators") is not None:
+        cell["estimators"] = overrides["estimators"]
+    return [cell]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
 ) -> list[AblationHybridRow]:
-    """Run the local decomposition once per estimator and compare against DP."""
+    graph = params.get("graph")
     if graph is None:
-        graph = load_dataset(dataset, scale)
-    estimators = list(estimators) if estimators is not None else _estimators()
+        graph = load_dataset(params["dataset"], config.scale)
+    theta = params["theta"]
+    estimators = (
+        list(params["estimators"])
+        if params.get("estimators") is not None
+        else _default_estimators()
+    )
 
     start = time.perf_counter()
-    exact = local_nucleus_decomposition(graph, theta, estimator=DynamicProgrammingEstimator())
+    exact = local_nucleus_decomposition(
+        graph, theta, estimator=DynamicProgrammingEstimator(), backend=config.backend
+    )
     dp_seconds = time.perf_counter() - start
 
     rows: list[AblationHybridRow] = []
@@ -81,7 +119,9 @@ def run_ablation_hybrid(
             seconds, result = dp_seconds, exact
         else:
             start = time.perf_counter()
-            result = local_nucleus_decomposition(graph, theta, estimator=estimator)
+            result = local_nucleus_decomposition(
+                graph, theta, estimator=estimator, backend=config.backend
+            )
             seconds = time.perf_counter() - start
         total = len(exact.scores)
         errors = [
@@ -91,7 +131,7 @@ def run_ablation_hybrid(
         differing = sum(1 for e in errors if e > 0)
         rows.append(
             AblationHybridRow(
-                dataset=dataset,
+                dataset=params["dataset"],
                 theta=theta,
                 estimator=estimator.name,
                 seconds=seconds,
@@ -105,20 +145,42 @@ def run_ablation_hybrid(
 
 def format_ablation_hybrid(rows: list[AblationHybridRow]) -> str:
     """Render the ablation as a table, including hybrid branch counts when present."""
-    lines = [
-        f"{'estimator':>20}  {'time (s)':>9}  {'avg error':>10}  {'% error':>8}  selections"
-    ]
-    for row in rows:
-        selections = (
-            ", ".join(f"{k}={v}" for k, v in sorted(row.selections.items()))
-            if row.selections
-            else "-"
-        )
-        lines.append(
-            f"{row.estimator:>20}  {row.seconds:>9.4f}  {row.average_error:>10.4f}  "
-            f"{row.percent_with_error:>8.2f}  {selections}"
-        )
-    return "\n".join(lines)
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="ablation_hybrid",
+    title="Hybrid selector vs single-approximation estimators (accuracy + time)",
+    paper_reference="Ablation A (beyond the paper)",
+    row_type=AblationHybridRow,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_ablation_hybrid,
+    columns=COLUMNS,
+    cacheable=False,
+)
+
+
+def run_ablation_hybrid(
+    dataset: str = "flickr",
+    theta: float = 0.2,
+    scale: str = "small",
+    graph: ProbabilisticGraph | None = None,
+    estimators: Sequence[SupportEstimator] | None = None,
+    backend: str = "csr",
+) -> list[AblationHybridRow]:
+    """Run the local decomposition once per estimator and compare against DP."""
+    config = RunConfig(backend=backend, scale=scale)
+    return run_spec_rows(
+        SPEC,
+        config,
+        overrides={
+            "dataset": dataset,
+            "theta": theta,
+            "graph": graph,
+            "estimators": list(estimators) if estimators is not None else None,
+        },
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

@@ -7,6 +7,9 @@ enough for exact possible-world enumeration: for a range of sample sizes it
 measures the maximum absolute deviation between the Monte-Carlo estimate of
 ``Pr(X_{H,△,g} ≥ k)`` and its exact value, and compares the observed error
 with the ε that Hoeffding guarantees at δ = 0.1.
+
+The sample sizes share one sequential RNG stream (size 50 continues the
+stream of size 25), so the pipeline grid is a single cell.
 """
 
 from __future__ import annotations
@@ -17,13 +20,20 @@ from dataclasses import dataclass
 
 from repro.deterministic.cliques import enumerate_triangles
 from repro.deterministic.nucleus import is_k_nucleus
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.generators import complete_probabilistic_graph, uniform_probability
 from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.hardness.reductions import global_indicator_probability
 from repro.sampling.monte_carlo import hoeffding_error_bound
 
-__all__ = ["AblationSamplingRow", "run_ablation_sampling", "format_ablation_sampling"]
+__all__ = ["SPEC", "AblationSamplingRow", "run_ablation_sampling", "format_ablation_sampling"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +46,14 @@ class AblationSamplingRow:
     hoeffding_epsilon: float
 
 
+COLUMNS = (
+    Column("n", 5, key="n_samples"),
+    Column("max |err|", 9, ".4f", key="max_observed_error"),
+    Column("mean |err|", 10, ".4f", key="mean_observed_error"),
+    Column("Hoeffding eps", 13, ".4f", key="hoeffding_epsilon"),
+)
+
+
 def _default_graph(seed: int) -> ProbabilisticGraph:
     """A complete graph on 6 vertices: 15 edges, small enough to enumerate exactly."""
     return complete_probabilistic_graph(
@@ -43,23 +61,26 @@ def _default_graph(seed: int) -> ProbabilisticGraph:
     )
 
 
-def run_ablation_sampling(
-    sample_sizes: Sequence[int] = (25, 50, 100, 200, 400),
-    k: int = 1,
-    delta: float = 0.1,
-    graph: ProbabilisticGraph | None = None,
-    seed: int = 0,
-) -> list[AblationSamplingRow]:
-    """Measure Monte-Carlo estimation error against exact enumeration.
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    cell = {
+        "sample_sizes": list(overrides.get("sample_sizes", (25, 50, 100, 200, 400))),
+        "k": overrides.get("k", 1),
+        "delta": overrides.get("delta", 0.1),
+        "seed": overrides.get("seed", config.seed),
+    }
+    if overrides.get("graph") is not None:
+        cell["graph"] = overrides["graph"]  # test-only injection; serial path
+    return [cell]
 
-    For every triangle of the (small) input graph the exact probability
-    ``Pr(X_{G,△,g} ≥ k)`` is computed by world enumeration; each sample size
-    is then used to re-estimate the same probabilities and the maximum and
-    mean absolute errors over triangles are reported next to the Hoeffding
-    bound for that ``n``.
-    """
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
+) -> list[AblationSamplingRow]:
+    graph = params.get("graph")
+    seed = params["seed"]
     if graph is None:
         graph = _default_graph(seed)
+    k, delta = params["k"], params["delta"]
     triangles = list(enumerate_triangles(graph))
     exact = {
         t: global_indicator_probability(graph, t, k) for t in triangles
@@ -67,7 +88,7 @@ def run_ablation_sampling(
 
     rows: list[AblationSamplingRow] = []
     rng = random.Random(seed)
-    for n in sample_sizes:
+    for n in params["sample_sizes"]:
         worlds = [sample_world(graph, rng=rng) for _ in range(n)]
         nucleus_flags = [is_k_nucleus(world, k) for world in worlds]
         errors = []
@@ -95,15 +116,48 @@ def run_ablation_sampling(
 
 def format_ablation_sampling(rows: list[AblationSamplingRow]) -> str:
     """Render the observed-vs-guaranteed error table."""
-    lines = [
-        f"{'n':>5}  {'max |err|':>9}  {'mean |err|':>10}  {'Hoeffding eps':>13}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.n_samples:>5}  {row.max_observed_error:>9.4f}  "
-            f"{row.mean_observed_error:>10.4f}  {row.hoeffding_epsilon:>13.4f}"
-        )
-    return "\n".join(lines)
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="ablation_sampling",
+    title="Monte-Carlo sample size vs estimation error (Hoeffding check)",
+    paper_reference="Ablation B (beyond the paper)",
+    row_type=AblationSamplingRow,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_ablation_sampling,
+    columns=COLUMNS,
+    cacheable=False,
+)
+
+
+def run_ablation_sampling(
+    sample_sizes: Sequence[int] = (25, 50, 100, 200, 400),
+    k: int = 1,
+    delta: float = 0.1,
+    graph: ProbabilisticGraph | None = None,
+    seed: int = 0,
+) -> list[AblationSamplingRow]:
+    """Measure Monte-Carlo estimation error against exact enumeration.
+
+    For every triangle of the (small) input graph the exact probability
+    ``Pr(X_{G,△,g} ≥ k)`` is computed by world enumeration; each sample size
+    is then used to re-estimate the same probabilities and the maximum and
+    mean absolute errors over triangles are reported next to the Hoeffding
+    bound for that ``n``.
+    """
+    return run_spec_rows(
+        SPEC,
+        RunConfig(seed=seed),
+        overrides={
+            "sample_sizes": tuple(sample_sizes),
+            "k": k,
+            "delta": delta,
+            "graph": graph,
+            "seed": seed,
+        },
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

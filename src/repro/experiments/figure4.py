@@ -9,7 +9,9 @@ the largest datasets and smallest thresholds, and (b) both runtimes shrink as
 
 This module reruns the same sweep on the dataset analogues and reports the
 series in seconds.  Each cell also records the maximum nucleus score so the
-accuracy experiments can confirm DP and AP agree.
+accuracy experiments can confirm DP and AP agree.  Because the experiment
+*measures* decomposition runtime, its cells never consult the decomposition
+cache — every timing is a fresh run on the configured backend.
 """
 
 from __future__ import annotations
@@ -22,9 +24,16 @@ from repro.core.approximations import DynamicProgrammingEstimator
 from repro.core.hybrid import HybridEstimator
 from repro.core.local import local_nucleus_decomposition
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
-__all__ = ["Figure4Row", "run_figure4", "format_figure4", "DEFAULT_THETAS"]
+__all__ = ["SPEC", "Figure4Row", "run_figure4", "format_figure4", "DEFAULT_THETAS"]
 
 #: Threshold sweep used by the paper.
 DEFAULT_THETAS = (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -49,52 +58,85 @@ class Figure4Row:
         return self.dp_seconds / self.ap_seconds
 
 
-def _time_decomposition(graph: ProbabilisticGraph, theta: float, estimator) -> tuple[float, int]:
+COLUMNS = (
+    Column("dataset", 10),
+    Column("theta", 5, ".2f"),
+    Column("DP (s)", 9, ".4f", key="dp_seconds"),
+    Column("AP (s)", 9, ".4f", key="ap_seconds"),
+    Column("speedup", 7, ".2f", key="speedup"),
+    Column("kmax", 4, key="dp_max_score"),
+)
+
+
+def _time_decomposition(
+    graph: ProbabilisticGraph, theta: float, estimator, backend: str
+) -> tuple[float, int]:
     start = time.perf_counter()
-    result = local_nucleus_decomposition(graph, theta, estimator=estimator)
+    result = local_nucleus_decomposition(graph, theta, estimator=estimator, backend=backend)
     elapsed = time.perf_counter() - start
     return elapsed, result.max_score
+
+
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    names = overrides.get("names", DATASET_NAMES)
+    thetas = overrides.get("thetas", DEFAULT_THETAS)
+    return [
+        {"dataset": name, "theta": theta} for name in names for theta in thetas
+    ]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
+) -> list[Figure4Row]:
+    graph = load_dataset(params["dataset"], config.scale)
+    theta = params["theta"]
+    dp_seconds, dp_max = _time_decomposition(
+        graph, theta, DynamicProgrammingEstimator(), config.backend
+    )
+    ap_seconds, ap_max = _time_decomposition(
+        graph, theta, HybridEstimator(), config.backend
+    )
+    return [
+        Figure4Row(
+            dataset=params["dataset"],
+            theta=theta,
+            dp_seconds=dp_seconds,
+            ap_seconds=ap_seconds,
+            dp_max_score=dp_max,
+            ap_max_score=ap_max,
+        )
+    ]
+
+
+def format_figure4(rows: list[Figure4Row]) -> str:
+    """Render the sweep as a fixed-width table (one line per dataset/θ)."""
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="figure4",
+    title="Running time of the local decomposition, DP vs AP",
+    paper_reference="Figure 4",
+    row_type=Figure4Row,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_figure4,
+    columns=COLUMNS,
+    cacheable=False,
+)
 
 
 def run_figure4(
     names: Sequence[str] = DATASET_NAMES,
     thetas: Sequence[float] = DEFAULT_THETAS,
     scale: str = "small",
+    backend: str = "csr",
 ) -> list[Figure4Row]:
     """Run the DP-vs-AP runtime sweep and return one row per (dataset, θ)."""
-    rows: list[Figure4Row] = []
-    for name in names:
-        graph = load_dataset(name, scale)
-        for theta in thetas:
-            dp_seconds, dp_max = _time_decomposition(
-                graph, theta, DynamicProgrammingEstimator()
-            )
-            ap_seconds, ap_max = _time_decomposition(graph, theta, HybridEstimator())
-            rows.append(
-                Figure4Row(
-                    dataset=name,
-                    theta=theta,
-                    dp_seconds=dp_seconds,
-                    ap_seconds=ap_seconds,
-                    dp_max_score=dp_max,
-                    ap_max_score=ap_max,
-                )
-            )
-    return rows
-
-
-def format_figure4(rows: list[Figure4Row]) -> str:
-    """Render the sweep as a fixed-width table (one line per dataset/θ)."""
-    lines = [
-        f"{'dataset':>10}  {'theta':>5}  {'DP (s)':>9}  {'AP (s)':>9}  "
-        f"{'speedup':>7}  {'kmax':>4}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.dataset:>10}  {row.theta:>5.2f}  {row.dp_seconds:>9.4f}  "
-            f"{row.ap_seconds:>9.4f}  {row.speedup:>7.2f}  {row.dp_max_score:>4}"
-        )
-    return "\n".join(lines)
+    config = RunConfig(backend=backend, scale=scale)
+    return run_spec_rows(
+        SPEC, config, overrides={"names": tuple(names), "thetas": tuple(thetas)}
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

@@ -17,6 +17,10 @@ The error of a sampled triangle profile is
 ``|κ_approx − κ_dp| / max(1, κ_dp)`` where κ is the largest ``k`` whose
 threshold condition holds at θ; the figure reports the average over the
 sampled profiles.
+
+Each panel draws its profiles from one sequential RNG stream (later
+``c_△`` values continue the stream of earlier ones), so the pipeline grid
+has exactly one cell per panel — the finest independent unit.
 """
 
 from __future__ import annotations
@@ -33,8 +37,16 @@ from repro.core.approximations import (
     SupportEstimator,
     TranslatedPoissonEstimator,
 )
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 
 __all__ = [
+    "SPEC",
     "Figure6Row",
     "relative_support_error",
     "run_figure6a",
@@ -54,6 +66,14 @@ class Figure6Row:
     condition: str
     average_relative_error: float
     num_profiles: int
+
+
+COLUMNS = (
+    Column("panel", 5),
+    Column("estimator", 20),
+    Column("condition", 45),
+    Column("avg rel error", 13, ".4f", key="average_relative_error"),
+)
 
 
 def relative_support_error(
@@ -176,28 +196,68 @@ def run_figure6c(
     return rows
 
 
+_PANELS = {
+    "6a": run_figure6a,
+    "6b": run_figure6b,
+    "6c": run_figure6c,
+}
+
+#: Seed offset of each panel relative to the base seed (legacy convention).
+_PANEL_SEED_OFFSETS = {"6a": 0, "6b": 1, "6c": 2}
+
+
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    panels = overrides.get("panels", ("6a", "6b", "6c"))
+    seed = overrides.get("seed", config.seed)
+    return [
+        {
+            "panel": panel,
+            "theta": overrides.get("theta", 0.3),
+            "num_profiles": overrides.get("num_profiles", 200),
+            "seed": seed + _PANEL_SEED_OFFSETS[panel],
+        }
+        for panel in panels
+    ]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
+) -> list[Figure6Row]:
+    runner = _PANELS[params["panel"]]
+    return runner(
+        theta=params["theta"],
+        num_profiles=params["num_profiles"],
+        seed=params["seed"],
+    )
+
+
 def run_figure6(
     theta: float = 0.3, num_profiles: int = 200, seed: int = 0
 ) -> list[Figure6Row]:
     """Run all three panels and return the concatenated rows."""
-    return (
-        run_figure6a(theta=theta, num_profiles=num_profiles, seed=seed)
-        + run_figure6b(theta=theta, num_profiles=num_profiles, seed=seed + 1)
-        + run_figure6c(theta=theta, num_profiles=num_profiles, seed=seed + 2)
+    return run_spec_rows(
+        SPEC,
+        RunConfig(seed=seed),
+        overrides={"theta": theta, "num_profiles": num_profiles, "seed": seed},
     )
 
 
 def format_figure6(rows: list[Figure6Row]) -> str:
     """Render all panels as a fixed-width table."""
-    lines = [
-        f"{'panel':>5}  {'estimator':>20}  {'condition':>45}  {'avg rel error':>13}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.panel:>5}  {row.estimator:>20}  {row.condition:>45}  "
-            f"{row.average_relative_error:>13.4f}"
-        )
-    return "\n".join(lines)
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="figure6",
+    title="Relative error of the statistical approximations vs exact DP",
+    paper_reference="Figure 6",
+    row_type=Figure6Row,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_figure6,
+    columns=COLUMNS,
+    cacheable=False,
+)
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

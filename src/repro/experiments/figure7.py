@@ -18,13 +18,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.local import local_nucleus_decomposition
 from repro.experiments.datasets import load_dataset
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.metrics.clustering import probabilistic_clustering_coefficient
 from repro.metrics.density import probabilistic_density
 
-__all__ = ["Figure7Row", "run_figure7", "format_figure7"]
+__all__ = ["SPEC", "Figure7Row", "run_figure7", "format_figure7"]
 
 
 @dataclass(frozen=True)
@@ -38,29 +44,38 @@ class Figure7Row:
     num_nuclei: int
 
 
-def run_figure7(
-    dataset: str = "flickr",
-    theta: float = 0.3,
-    scale: str = "small",
-    graph: ProbabilisticGraph | None = None,
-    max_k: int | None = None,
-) -> list[Figure7Row]:
-    """Sweep ``k`` from 1 to the maximum nucleus score and collect the four series.
+COLUMNS = (
+    Column("k", 3),
+    Column("avg PD", 8, ".3f", key="average_density"),
+    Column("avg PCC", 8, ".3f", key="average_clustering"),
+    Column("avg #edges", 10, ".1f", key="average_edges"),
+    Column("#nuclei", 7, key="num_nuclei"),
+)
 
-    Parameters
-    ----------
-    dataset, scale:
-        Registry dataset to load (ignored when ``graph`` is given).
-    theta:
-        Decomposition threshold (paper uses 0.3).
-    graph:
-        Optional pre-built graph, used by tests.
-    max_k:
-        Optional cap on the sweep.
-    """
+
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    cell = {
+        "dataset": overrides.get("dataset", "flickr"),
+        "theta": overrides.get("theta", 0.3),
+    }
+    if overrides.get("max_k") is not None:
+        cell["max_k"] = overrides["max_k"]
+    if overrides.get("graph") is not None:
+        cell["graph"] = overrides["graph"]  # test-only injection; serial path
+    return [cell]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
+) -> list[Figure7Row]:
+    graph = params.get("graph")
     if graph is None:
-        graph = load_dataset(dataset, scale)
-    local = local_nucleus_decomposition(graph, theta)
+        graph = load_dataset(params["dataset"], config.scale)
+    theta = params["theta"]
+    local = cache.local(
+        graph, theta, backend=config.backend, dataset=params.get("dataset")
+    )
+    max_k = params.get("max_k")
     top = local.max_score if max_k is None else min(max_k, local.max_score)
     rows: list[Figure7Row] = []
     for k in range(1, max(top, 0) + 1):
@@ -88,15 +103,50 @@ def run_figure7(
 
 def format_figure7(rows: list[Figure7Row]) -> str:
     """Render the four series as one table (k on the rows)."""
-    lines = [
-        f"{'k':>3}  {'avg PD':>8}  {'avg PCC':>8}  {'avg #edges':>10}  {'#nuclei':>7}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.k:>3}  {row.average_density:>8.3f}  {row.average_clustering:>8.3f}  "
-            f"{row.average_edges:>10.1f}  {row.num_nuclei:>7}"
-        )
-    return "\n".join(lines)
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="figure7",
+    title="ℓ-(k, θ)-nucleus quality as a function of k (flickr, θ = 0.3)",
+    paper_reference="Figure 7",
+    row_type=Figure7Row,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_figure7,
+    columns=COLUMNS,
+)
+
+
+def run_figure7(
+    dataset: str = "flickr",
+    theta: float = 0.3,
+    scale: str = "small",
+    graph: ProbabilisticGraph | None = None,
+    max_k: int | None = None,
+    backend: str = "csr",
+) -> list[Figure7Row]:
+    """Sweep ``k`` from 1 to the maximum nucleus score and collect the four series.
+
+    Parameters
+    ----------
+    dataset, scale:
+        Registry dataset to load (ignored when ``graph`` is given).
+    theta:
+        Decomposition threshold (paper uses 0.3).
+    graph:
+        Optional pre-built graph, used by tests.
+    max_k:
+        Optional cap on the sweep.
+    backend:
+        Decomposition engine (``"csr"`` default, ``"dict"`` reference path).
+    """
+    config = RunConfig(backend=backend, scale=scale)
+    return run_spec_rows(
+        SPEC,
+        config,
+        overrides={"dataset": dataset, "theta": theta, "graph": graph, "max_k": max_k},
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

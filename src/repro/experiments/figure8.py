@@ -6,6 +6,10 @@ g-(k, θ)-nuclei, w-(k, θ)-nuclei, and ℓ-(k, θ)-nuclei, averaged over all
 values of ``k``.  The expected ordering — and the shape this reproduction
 preserves — is ``global ≥ weakly-global ≥ local``: the stricter the model,
 the more cohesive the reported subgraphs.
+
+Like Figure 5, the pruning local decomposition at θ = 0.001 comes from the
+pipeline's decomposition cache — when Figure 5 ran earlier in the same
+invocation, this experiment reloads its snapshots instead of re-peeling.
 """
 
 from __future__ import annotations
@@ -14,14 +18,20 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.global_nucleus import global_nucleus_decomposition
-from repro.core.local import local_nucleus_decomposition
 from repro.core.weak_nucleus import weak_nucleus_decomposition
 from repro.experiments.datasets import load_dataset
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.metrics.clustering import probabilistic_clustering_coefficient
 from repro.metrics.density import probabilistic_density
 
-__all__ = ["Figure8Row", "run_figure8", "format_figure8", "DEFAULT_DATASETS"]
+__all__ = ["SPEC", "Figure8Row", "run_figure8", "format_figure8", "DEFAULT_DATASETS"]
 
 #: Datasets reported in the paper's Figure 8.
 DEFAULT_DATASETS = ("krogan", "flickr", "dblp")
@@ -38,6 +48,15 @@ class Figure8Row:
     num_nuclei: int
 
 
+COLUMNS = (
+    Column("dataset", 10),
+    Column("mode", 14),
+    Column("avg PD", 8, ".3f", key="average_density"),
+    Column("avg PCC", 8, ".3f", key="average_clustering"),
+    Column("#nuclei", 7, key="num_nuclei"),
+)
+
+
 def _average_quality(subgraphs: list[ProbabilisticGraph]) -> tuple[float, float]:
     if not subgraphs:
         return 0.0, 0.0
@@ -46,12 +65,92 @@ def _average_quality(subgraphs: list[ProbabilisticGraph]) -> tuple[float, float]
     return sum(densities) / len(densities), sum(clusterings) / len(clusterings)
 
 
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    names = overrides.get("names", DEFAULT_DATASETS)
+    return [
+        {
+            "dataset": name,
+            "theta": overrides.get("theta", 0.001),
+            "n_samples": overrides.get("n_samples", 100),
+            "seed": overrides.get("seed", config.seed),
+        }
+        for name in names
+    ]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
+) -> list[Figure8Row]:
+    graph = load_dataset(params["dataset"], config.scale)
+    theta, n_samples, seed = params["theta"], params["n_samples"], params["seed"]
+    local = cache.local(
+        graph, theta, backend=config.backend, dataset=params["dataset"]
+    )
+    max_k = max(1, local.max_score)
+
+    local_subgraphs: list[ProbabilisticGraph] = []
+    global_subgraphs: list[ProbabilisticGraph] = []
+    weak_subgraphs: list[ProbabilisticGraph] = []
+    for k in range(1, max_k + 1):
+        local_subgraphs.extend(n.subgraph for n in local.nuclei(k))
+        global_subgraphs.extend(
+            n.subgraph
+            for n in global_nucleus_decomposition(
+                graph, k=k, theta=theta, n_samples=n_samples,
+                local_result=local, seed=seed, backend=config.backend,
+            )
+        )
+        weak_subgraphs.extend(
+            n.subgraph
+            for n in weak_nucleus_decomposition(
+                graph, k=k, theta=theta, n_samples=n_samples,
+                local_result=local, seed=seed, backend=config.backend,
+            )
+        )
+
+    rows: list[Figure8Row] = []
+    for mode, subgraphs in (
+        ("global", global_subgraphs),
+        ("weakly-global", weak_subgraphs),
+        ("local", local_subgraphs),
+    ):
+        density, clustering = _average_quality(subgraphs)
+        rows.append(
+            Figure8Row(
+                dataset=params["dataset"],
+                mode=mode,
+                average_density=density,
+                average_clustering=clustering,
+                num_nuclei=len(subgraphs),
+            )
+        )
+    return rows
+
+
+def format_figure8(rows: list[Figure8Row]) -> str:
+    """Render the Figure 8 bars as a table."""
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="figure8",
+    title="PD / PCC of global vs weakly-global vs local nuclei",
+    paper_reference="Figure 8",
+    row_type=Figure8Row,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_figure8,
+    columns=COLUMNS,
+)
+
+
 def run_figure8(
     names: Sequence[str] = DEFAULT_DATASETS,
     theta: float = 0.001,
     n_samples: int = 100,
     scale: str = "small",
     seed: int = 0,
+    backend: str = "csr",
 ) -> list[Figure8Row]:
     """Compute the Figure 8 bars: per dataset, average PD/PCC of g-, w-, and ℓ-nuclei.
 
@@ -60,61 +159,17 @@ def run_figure8(
     averages are over all nuclei of all ``k`` values, matching the paper's
     "averaging over all the possible values of k".
     """
-    rows: list[Figure8Row] = []
-    for name in names:
-        graph = load_dataset(name, scale)
-        local = local_nucleus_decomposition(graph, theta)
-        max_k = max(1, local.max_score)
-
-        local_subgraphs: list[ProbabilisticGraph] = []
-        global_subgraphs: list[ProbabilisticGraph] = []
-        weak_subgraphs: list[ProbabilisticGraph] = []
-        for k in range(1, max_k + 1):
-            local_subgraphs.extend(n.subgraph for n in local.nuclei(k))
-            global_subgraphs.extend(
-                n.subgraph
-                for n in global_nucleus_decomposition(
-                    graph, k=k, theta=theta, n_samples=n_samples,
-                    local_result=local, seed=seed,
-                )
-            )
-            weak_subgraphs.extend(
-                n.subgraph
-                for n in weak_nucleus_decomposition(
-                    graph, k=k, theta=theta, n_samples=n_samples,
-                    local_result=local, seed=seed,
-                )
-            )
-
-        for mode, subgraphs in (
-            ("global", global_subgraphs),
-            ("weakly-global", weak_subgraphs),
-            ("local", local_subgraphs),
-        ):
-            density, clustering = _average_quality(subgraphs)
-            rows.append(
-                Figure8Row(
-                    dataset=name,
-                    mode=mode,
-                    average_density=density,
-                    average_clustering=clustering,
-                    num_nuclei=len(subgraphs),
-                )
-            )
-    return rows
-
-
-def format_figure8(rows: list[Figure8Row]) -> str:
-    """Render the Figure 8 bars as a table."""
-    lines = [
-        f"{'dataset':>10}  {'mode':>14}  {'avg PD':>8}  {'avg PCC':>8}  {'#nuclei':>7}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.dataset:>10}  {row.mode:>14}  {row.average_density:>8.3f}  "
-            f"{row.average_clustering:>8.3f}  {row.num_nuclei:>7}"
-        )
-    return "\n".join(lines)
+    config = RunConfig(backend=backend, scale=scale, seed=seed)
+    return run_spec_rows(
+        SPEC,
+        config,
+        overrides={
+            "names": tuple(names),
+            "theta": theta,
+            "n_samples": n_samples,
+            "seed": seed,
+        },
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

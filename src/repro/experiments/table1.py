@@ -13,25 +13,67 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.experiments.formatting import Column
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.statistics import GraphStatistics, format_statistics_table, graph_statistics
 
-__all__ = ["run_table1", "format_table1"]
+__all__ = ["SPEC", "run_table1", "format_table1"]
+
+#: Markdown-renderer columns (the plain report keeps the legacy
+#: :func:`format_statistics_table` layout with its dashed separator).
+COLUMNS = (
+    Column("Graph", 0, key="name"),
+    Column("|V|", 0, key="num_vertices"),
+    Column("|E|", 0, key="num_edges"),
+    Column("dmax", 0, key="max_degree"),
+    Column("p_avg", 0, ".2f", key="average_probability"),
+    Column("|tri|", 0, key="num_triangles"),
+)
 
 
-def run_table1(
-    names: Sequence[str] = DATASET_NAMES, scale: str = "small"
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    names = overrides.get("names", DATASET_NAMES)
+    return [{"dataset": name} for name in names]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
 ) -> list[GraphStatistics]:
-    """Compute the Table 1 rows for the requested datasets."""
-    rows = []
-    for name in names:
-        graph = load_dataset(name, scale)
-        rows.append(graph_statistics(graph, name=name))
-    return rows
+    graph = load_dataset(params["dataset"], config.scale)
+    return [graph_statistics(graph, name=params["dataset"])]
 
 
 def format_table1(rows: list[GraphStatistics]) -> str:
     """Render the rows in the paper's column order."""
     return format_statistics_table(rows)
+
+
+SPEC = ExperimentSpec(
+    name="table1",
+    title="Dataset statistics (|V|, |E|, dmax, p_avg, triangle count)",
+    paper_reference="Table 1",
+    row_type=GraphStatistics,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_table1,
+    columns=COLUMNS,
+    cacheable=False,
+)
+
+
+def run_table1(
+    names: Sequence[str] = DATASET_NAMES,
+    scale: str = "small",
+    backend: str = "csr",
+) -> list[GraphStatistics]:
+    """Compute the Table 1 rows for the requested datasets."""
+    config = RunConfig(backend=backend, scale=scale)
+    return run_spec_rows(SPEC, config, overrides={"names": tuple(names)})
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

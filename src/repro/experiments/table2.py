@@ -12,13 +12,20 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.approximations import DynamicProgrammingEstimator
 from repro.core.hybrid import HybridEstimator
-from repro.core.local import local_nucleus_decomposition
+from repro.core.result import LocalNucleusDecomposition
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
-__all__ = ["Table2Row", "compare_scores", "run_table2", "format_table2", "DEFAULT_THETAS"]
+__all__ = ["SPEC", "Table2Row", "compare_scores", "run_table2", "format_table2",
+           "DEFAULT_THETAS"]
 
 #: Thresholds reported in the paper's Table 2.
 DEFAULT_THETAS = (0.2, 0.4)
@@ -35,18 +42,19 @@ class Table2Row:
     percent_with_error: float
 
 
-def compare_scores(graph: ProbabilisticGraph, theta: float) -> tuple[int, float, float]:
-    """Run DP and AP on ``graph`` and compare their nucleus scores.
+COLUMNS = (
+    Column("dataset", 10),
+    Column("theta", 5, ".2f"),
+    Column("#triangles", 10, key="num_triangles"),
+    Column("avg error", 10, ".4f", key="average_error"),
+    Column("% with error", 12, ".2f", key="percent_with_error"),
+)
 
-    Returns
-    -------
-    (num_triangles, average_error, percent_with_error):
-        ``average_error`` is the mean absolute difference between the AP and
-        DP scores over all triangles; ``percent_with_error`` is the share of
-        triangles (in percent) whose scores differ.
-    """
-    dp = local_nucleus_decomposition(graph, theta, estimator=DynamicProgrammingEstimator())
-    ap = local_nucleus_decomposition(graph, theta, estimator=HybridEstimator())
+
+def _score_comparison(
+    dp: LocalNucleusDecomposition, ap: LocalNucleusDecomposition
+) -> tuple[int, float, float]:
+    """Compare two score maps over the DP triangle set (legacy semantics)."""
     total = len(dp.scores)
     if total == 0:
         return 0, 0.0, 0.0
@@ -58,41 +66,85 @@ def compare_scores(graph: ProbabilisticGraph, theta: float) -> tuple[int, float,
     return total, sum(absolute_errors) / total, 100.0 * differing / total
 
 
-def run_table2(
-    names: Sequence[str] = DATASET_NAMES,
-    thetas: Sequence[float] = DEFAULT_THETAS,
-    scale: str = "small",
+def compare_scores(
+    graph: ProbabilisticGraph, theta: float, backend: str = "csr"
+) -> tuple[int, float, float]:
+    """Run DP and AP on ``graph`` and compare their nucleus scores.
+
+    Returns
+    -------
+    (num_triangles, average_error, percent_with_error):
+        ``average_error`` is the mean absolute difference between the AP and
+        DP scores over all triangles; ``percent_with_error`` is the share of
+        triangles (in percent) whose scores differ.
+    """
+    cache = DecompositionCache()
+    dp = cache.local(graph, theta, estimator=None, backend=backend)
+    ap = cache.local(graph, theta, estimator=HybridEstimator(), backend=backend)
+    return _score_comparison(dp, ap)
+
+
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    names = overrides.get("names", DATASET_NAMES)
+    thetas = overrides.get("thetas", DEFAULT_THETAS)
+    return [
+        {"dataset": name, "theta": theta} for name in names for theta in thetas
+    ]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
 ) -> list[Table2Row]:
-    """Compute the Table 2 accuracy rows for the requested datasets and thresholds."""
-    rows: list[Table2Row] = []
-    for name in names:
-        graph = load_dataset(name, scale)
-        for theta in thetas:
-            total, average_error, percent = compare_scores(graph, theta)
-            rows.append(
-                Table2Row(
-                    dataset=name,
-                    theta=theta,
-                    num_triangles=total,
-                    average_error=average_error,
-                    percent_with_error=percent,
-                )
-            )
-    return rows
+    graph = load_dataset(params["dataset"], config.scale)
+    theta = params["theta"]
+    dp = cache.local(
+        graph, theta, estimator=None, backend=config.backend,
+        dataset=params["dataset"],
+    )
+    ap = cache.local(
+        graph, theta, estimator=HybridEstimator(), backend=config.backend,
+        dataset=params["dataset"],
+    )
+    total, average_error, percent = _score_comparison(dp, ap)
+    return [
+        Table2Row(
+            dataset=params["dataset"],
+            theta=theta,
+            num_triangles=total,
+            average_error=average_error,
+            percent_with_error=percent,
+        )
+    ]
 
 
 def format_table2(rows: list[Table2Row]) -> str:
     """Render the accuracy table in the paper's layout."""
-    lines = [
-        f"{'dataset':>10}  {'theta':>5}  {'#triangles':>10}  "
-        f"{'avg error':>10}  {'% with error':>12}"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.dataset:>10}  {row.theta:>5.2f}  {row.num_triangles:>10}  "
-            f"{row.average_error:>10.4f}  {row.percent_with_error:>12.2f}"
-        )
-    return "\n".join(lines)
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="table2",
+    title="Accuracy of AP vs exact DP nucleus scores",
+    paper_reference="Table 2",
+    row_type=Table2Row,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_table2,
+    columns=COLUMNS,
+)
+
+
+def run_table2(
+    names: Sequence[str] = DATASET_NAMES,
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    scale: str = "small",
+    backend: str = "csr",
+) -> list[Table2Row]:
+    """Compute the Table 2 accuracy rows for the requested datasets and thresholds."""
+    config = RunConfig(backend=backend, scale=scale)
+    return run_spec_rows(
+        SPEC, config, overrides={"names": tuple(names), "thetas": tuple(thetas)}
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

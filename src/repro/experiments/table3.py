@@ -24,13 +24,20 @@ from repro.baselines.probabilistic_truss import (
     k_gamma_truss_subgraph,
     probabilistic_truss_decomposition,
 )
-from repro.core.local import local_nucleus_decomposition
+from repro.core.result import LocalNucleusDecomposition
 from repro.deterministic.connectivity import connected_components
 from repro.experiments.datasets import load_dataset
+from repro.experiments.formatting import Column, render_plain
+from repro.experiments.pipeline import (
+    DecompositionCache,
+    ExperimentSpec,
+    RunConfig,
+    run_spec_rows,
+)
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.metrics.cohesiveness import CohesivenessReport, average_cohesiveness
 
-__all__ = ["Table3Row", "decomposition_quality", "run_table3", "format_table3",
+__all__ = ["SPEC", "Table3Row", "decomposition_quality", "run_table3", "format_table3",
            "DEFAULT_DATASETS", "DEFAULT_THETAS"]
 
 #: Datasets and thresholds reported in the paper's Table 3.
@@ -49,12 +56,51 @@ class Table3Row:
     core: CohesivenessReport
 
 
+COLUMNS = (
+    Column("dataset", 8),
+    Column("theta", 5, ".2f"),
+    Column(
+        "|V| N/T/C", 16,
+        key=lambda r: f"{r.nucleus.num_vertices}/{r.truss.num_vertices}/{r.core.num_vertices}",
+    ),
+    Column(
+        "|E| N/T/C", 19,
+        key=lambda r: f"{r.nucleus.num_edges}/{r.truss.num_edges}/{r.core.num_edges}",
+    ),
+    Column(
+        "kmax N/T/C", 12,
+        key=lambda r: f"{r.nucleus.max_score}/{r.truss.max_score}/{r.core.max_score}",
+    ),
+    Column(
+        "PD N/T/C", 20,
+        key=lambda r: (
+            f"{r.nucleus.probabilistic_density:.3f}/"
+            f"{r.truss.probabilistic_density:.3f}/"
+            f"{r.core.probabilistic_density:.3f}"
+        ),
+    ),
+    Column(
+        "PCC N/T/C", 20,
+        key=lambda r: (
+            f"{r.nucleus.probabilistic_clustering_coefficient:.3f}/"
+            f"{r.truss.probabilistic_clustering_coefficient:.3f}/"
+            f"{r.core.probabilistic_clustering_coefficient:.3f}"
+        ),
+    ),
+)
+
+
 def _connected_pieces(subgraph: ProbabilisticGraph) -> list[ProbabilisticGraph]:
     """Split a subgraph into its connected components (paper reports per-component averages)."""
     return [subgraph.subgraph(component) for component in connected_components(subgraph)]
 
 
-def decomposition_quality(graph: ProbabilisticGraph, theta: float) -> Table3Row:
+def decomposition_quality(
+    graph: ProbabilisticGraph,
+    theta: float,
+    backend: str = "csr",
+    local_result: LocalNucleusDecomposition | None = None,
+) -> Table3Row:
     """Compute the nucleus / truss / core cohesiveness comparison for one graph.
 
     For each decomposition the maximum score level is located, the subgraph
@@ -62,7 +108,9 @@ def decomposition_quality(graph: ProbabilisticGraph, theta: float) -> Table3Row:
     statistics are averaged over the components (the paper's convention).
     """
     # --- nucleus ----------------------------------------------------------
-    local = local_nucleus_decomposition(graph, theta)
+    if local_result is None:
+        local_result = DecompositionCache().local(graph, theta, backend=backend)
+    local = local_result
     nucleus_max = max(0, local.max_score)
     nucleus_pieces = [n.subgraph for n in local.nuclei(nucleus_max)] if local.max_score >= 0 else []
     nucleus_report = average_cohesiveness(nucleus_pieces, label="nucleus", max_score=nucleus_max)
@@ -89,54 +137,62 @@ def decomposition_quality(graph: ProbabilisticGraph, theta: float) -> Table3Row:
     )
 
 
-def run_table3(
-    names: Sequence[str] = DEFAULT_DATASETS,
-    thetas: Sequence[float] = DEFAULT_THETAS,
-    scale: str = "small",
+def _grid(config: RunConfig, overrides: dict) -> list[dict]:
+    names = overrides.get("names", DEFAULT_DATASETS)
+    thetas = overrides.get("thetas", DEFAULT_THETAS)
+    return [
+        {"dataset": name, "theta": theta} for name in names for theta in thetas
+    ]
+
+
+def _run_cell(
+    params: dict, config: RunConfig, cache: DecompositionCache
 ) -> list[Table3Row]:
-    """Compute the Table 3 rows for the requested datasets and thresholds."""
-    rows: list[Table3Row] = []
-    for name in names:
-        graph = load_dataset(name, scale)
-        for theta in thetas:
-            row = decomposition_quality(graph, theta)
-            rows.append(
-                Table3Row(
-                    dataset=name,
-                    theta=theta,
-                    nucleus=row.nucleus,
-                    truss=row.truss,
-                    core=row.core,
-                )
-            )
-    return rows
+    graph = load_dataset(params["dataset"], config.scale)
+    theta = params["theta"]
+    local = cache.local(
+        graph, theta, backend=config.backend, dataset=params["dataset"]
+    )
+    row = decomposition_quality(graph, theta, local_result=local)
+    return [
+        Table3Row(
+            dataset=params["dataset"],
+            theta=theta,
+            nucleus=row.nucleus,
+            truss=row.truss,
+            core=row.core,
+        )
+    ]
 
 
 def format_table3(rows: list[Table3Row]) -> str:
     """Render the comparison in the paper's |V|/|E|/kmax/PD/PCC layout."""
-    lines = [
-        f"{'dataset':>8}  {'theta':>5}  "
-        f"{'|V| N/T/C':>16}  {'|E| N/T/C':>19}  {'kmax N/T/C':>12}  "
-        f"{'PD N/T/C':>20}  {'PCC N/T/C':>20}"
-    ]
-    for row in rows:
-        v = f"{row.nucleus.num_vertices}/{row.truss.num_vertices}/{row.core.num_vertices}"
-        e = f"{row.nucleus.num_edges}/{row.truss.num_edges}/{row.core.num_edges}"
-        k = f"{row.nucleus.max_score}/{row.truss.max_score}/{row.core.max_score}"
-        pd = (
-            f"{row.nucleus.probabilistic_density:.3f}/"
-            f"{row.truss.probabilistic_density:.3f}/"
-            f"{row.core.probabilistic_density:.3f}"
-        )
-        pcc = (
-            f"{row.nucleus.probabilistic_clustering_coefficient:.3f}/"
-            f"{row.truss.probabilistic_clustering_coefficient:.3f}/"
-            f"{row.core.probabilistic_clustering_coefficient:.3f}"
-        )
-        lines.append(
-            f"{row.dataset:>8}  {row.theta:>5.2f}  {v:>16}  {e:>19}  {k:>12}  {pd:>20}  {pcc:>20}"
-        )
-    return "\n".join(lines)
+    return render_plain(COLUMNS, rows)
+
+
+SPEC = ExperimentSpec(
+    name="table3",
+    title="Cohesiveness of nucleus vs truss vs core at the maximum score",
+    paper_reference="Table 3",
+    row_type=Table3Row,
+    grid=_grid,
+    run_cell=_run_cell,
+    formatter=format_table3,
+    columns=COLUMNS,
+)
+
+
+def run_table3(
+    names: Sequence[str] = DEFAULT_DATASETS,
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    scale: str = "small",
+    backend: str = "csr",
+) -> list[Table3Row]:
+    """Compute the Table 3 rows for the requested datasets and thresholds."""
+    config = RunConfig(backend=backend, scale=scale)
+    return run_spec_rows(
+        SPEC, config, overrides={"names": tuple(names), "thetas": tuple(thetas)}
+    )
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

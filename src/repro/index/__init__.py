@@ -18,6 +18,7 @@ from repro.index.builders import (
     build_local_index,
     build_weak_index,
     load_index,
+    local_result_from_index,
 )
 from repro.index.fingerprint import graph_fingerprint
 from repro.index.nucleus_index import FORMAT_NAME, FORMAT_VERSION, NucleusIndex
@@ -32,4 +33,5 @@ __all__ = [
     "build_global_index",
     "build_weak_index",
     "load_index",
+    "local_result_from_index",
 ]

@@ -33,6 +33,7 @@ from repro.core.local import (
 )
 from repro.core.result import LocalNucleusDecomposition
 from repro.core.weak_nucleus import weak_nucleus_decomposition
+from repro.deterministic.cliques import canonical_triangle
 from repro.deterministic.connectivity import UnionFind
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
@@ -45,6 +46,7 @@ __all__ = [
     "build_global_index",
     "build_weak_index",
     "load_index",
+    "local_result_from_index",
 ]
 
 load_index = NucleusIndex.load
@@ -209,6 +211,57 @@ def build_weak_index(
         theta=theta,
         mode="weakly-global",
         params={"k": k, "backend": backend, "n_samples": n_samples, "seed": seed},
+    )
+
+
+def local_result_from_index(
+    index: NucleusIndex,
+    graph: ProbabilisticGraph | None = None,
+) -> LocalNucleusDecomposition:
+    """Rehydrate a ``mode="local"`` snapshot into a result object.
+
+    This is the reuse half of the snapshot round-trip used by the experiment
+    pipeline's decomposition cache: a :class:`NucleusIndex` built once (per
+    dataset fingerprint, θ, estimator) is loaded back as a
+    :class:`LocalNucleusDecomposition` that downstream code — nuclei
+    extraction, Algorithm 2/3 pruning, the quality metrics — consumes exactly
+    like a freshly-computed one.
+
+    When ``graph`` is given it becomes the result's graph after a fingerprint
+    check (:meth:`NucleusIndex.verify_against`), so nucleus subgraphs carry
+    the caller's live edge objects; otherwise the graph is reconstructed from
+    the snapshot.  The score dictionary is rebuilt in the index's sorted
+    triangle order, which is the same insertion order the CSR engine's
+    :func:`~repro.core.local._label_space_scores` produces — a rehydrated
+    result is therefore interchangeable with a fresh ``backend="csr"``
+    decomposition, down to dict iteration order.  Hybrid estimator selection
+    counts are not snapshotted and come back empty.
+    """
+    if index.mode != "local":
+        raise InvalidParameterError(
+            f'only mode="local" snapshots can be rehydrated, got {index.mode!r}'
+        )
+    if graph is not None:
+        index.verify_against(graph)
+    else:
+        graph = index.to_probabilistic_graph()
+    labels = index.vertex_labels
+    rows = index.arrays["triangles"]
+    values = index.arrays["triangle_scores"].tolist()
+    try:
+        plainly_sorted = all(labels[i] <= labels[i + 1] for i in range(len(labels) - 1))
+    except TypeError:
+        plainly_sorted = False
+    scores: dict = {}
+    for (u, v, w), score in zip(rows.tolist(), values):
+        lu, lv, lw = labels[u], labels[v], labels[w]
+        triangle = (lu, lv, lw) if plainly_sorted else canonical_triangle(lu, lv, lw)
+        scores[triangle] = score
+    return LocalNucleusDecomposition(
+        graph=graph,
+        theta=index.theta,
+        scores=scores,
+        estimator_name=str(index.params.get("estimator", "dp")),
     )
 
 

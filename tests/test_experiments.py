@@ -192,7 +192,9 @@ class TestRunner:
             run_experiment("figure99")
 
     def test_main_runs_a_cheap_experiment(self, capsys):
-        exit_code = main(["ablation_sampling"])
+        # Seed-era invocation shape (bare name, no subcommand) still works;
+        # the full CLI surface is covered in tests/test_runner_cli.py.
+        exit_code = main(["figure7", "--scale", "tiny"])
         captured = capsys.readouterr()
         assert exit_code == 0
-        assert "ablation_sampling" in captured.out
+        assert "figure7" in captured.out
