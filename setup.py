@@ -39,6 +39,9 @@ setup(
         "benchmarks": ["pytest", "pytest-benchmark"],
         "tests": ["pytest", "hypothesis", "pytest-cov"],
         "lint": ["ruff"],
+        # Everything a contributor needs: both test tiers (hypothesis drives
+        # the tier-2 property suites), coverage, benchmarks, and the linter.
+        "dev": ["pytest", "hypothesis", "pytest-cov", "pytest-benchmark", "ruff"],
     },
     entry_points={
         "console_scripts": [

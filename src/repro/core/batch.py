@@ -56,11 +56,14 @@ from repro.deterministic.cliques import (
     forward_adjacency_csr,
     triangle_arrays_csr,
 )
+from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 
 __all__ = [
     "CSRTriangleIndex",
     "build_triangle_extension_index",
+    "delta_triangle_extension_index",
+    "clique_vertex_rows",
     "batched_initial_kappas",
 ]
 
@@ -151,6 +154,23 @@ class _EdgeProbabilityLookup:
         keys = source * self._n + target
         return self._probs[np.searchsorted(self._keys, keys)]
 
+    def gather(self, pairs) -> "list[np.ndarray]":
+        """Probabilities for several parallel pair batches in one search.
+
+        Elementwise identical to calling the lookup once per ``(source,
+        target)`` pair — binary search is per-element — but pays the
+        ``searchsorted`` dispatch overhead once, which dominates the many
+        small lookups of the incremental delta path.
+        """
+        keys = np.concatenate([source * self._n + target for source, target in pairs])
+        probs = self._probs[np.searchsorted(self._keys, keys)]
+        out = []
+        start = 0
+        for source, _ in pairs:
+            out.append(probs[start : start + source.size])
+            start += source.size
+        return out
+
     def has_edges(self, source: np.ndarray, target: np.ndarray) -> np.ndarray:
         """Boolean mask telling which ``(source[i], target[i])`` pairs are edges."""
         return _members_of_sorted_mask(source * self._n + target, self._keys)
@@ -176,27 +196,28 @@ def _triangle_row_ids(
     return mapping, False
 
 
-def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleIndex:
-    """Index every triangle of ``csr`` with its 4-clique extension probabilities.
+def _assemble_triangle_index(
+    csr: CSRProbabilisticGraph,
+    u_ids: np.ndarray,
+    v_ids: np.ndarray,
+    w_ids: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+) -> CSRTriangleIndex:
+    """Assemble a :class:`CSRTriangleIndex` from canonical triangle and 4-clique ids.
 
-    Fully batched pipeline:
-
-    1. enumerate all triangles as parallel id arrays
-       (:func:`~repro.deterministic.cliques.triangle_arrays_csr`) and gather
-       their edge probabilities with the composite-key lookup;
-    2. enumerate all 4-cliques in one batch — for every triangle
-       ``(u, v, w)`` the candidates are the forward row of ``w``, filtered by
-       two vectorized edge-membership tests against ``v`` and ``u``;
-    3. scatter each 4-clique to its four member triangles: the completing
-       vertex and the extension probability ``Pr(E_z)`` are computed for all
-       cliques at once from the six gathered edge probabilities, and one
-       ``lexsort`` groups the (triangle, clique) pairs into the flat postings
-       arrays, sorted per triangle by completing vertex.  The clique → pair
-       back-pointers (``clique_pair_positions``) fall out of the same sort,
-       giving the peel engine its O(1) clique-kill operation for free.
+    ``(u_ids, v_ids, w_ids)`` are the triangle vertex triples (each ascending,
+    rows in lexicographic order) and ``(a, b, c, d)`` the 4-clique vertex
+    quadruples (each ascending, rows in lexicographic order).  All edge
+    probabilities are gathered fresh from ``csr`` with the same composite-key
+    lookups and multiplied in the same order as the full enumeration, so two
+    calls that agree on the triangle/clique id sets produce bit-identical
+    arrays regardless of how those sets were discovered — the property the
+    incremental delta path (:func:`delta_triangle_extension_index`) relies on
+    for its parity with :func:`build_triangle_extension_index`.
     """
-    forward = forward_adjacency_csr(csr)
-    u_ids, v_ids, w_ids = triangle_arrays_csr(csr, forward=forward)
     num_triangles = int(u_ids.size)
     triangles: list[IntTriangle] = list(
         zip(u_ids.tolist(), v_ids.tolist(), w_ids.tolist())
@@ -221,34 +242,26 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
 
     probability_of = _EdgeProbabilityLookup(csr)
     # Pr(△) = p(u,v) · p(u,w) · p(v,w), matching the scalar evaluation order.
-    tri_probs = (
-        probability_of(u_ids, v_ids)
-        * probability_of(u_ids, w_ids)
-        * probability_of(v_ids, w_ids)
+    if a.size == 0:
+        p_uv, p_uw, p_vw = probability_of.gather(
+            ((u_ids, v_ids), (u_ids, w_ids), (v_ids, w_ids))
+        )
+        return _without_cliques(p_uv * p_uw * p_vw)
+
+    p_uv, p_uw, p_vw, p_ab, p_ac, p_ad, p_bc, p_bd, p_cd = probability_of.gather(
+        (
+            (u_ids, v_ids),
+            (u_ids, w_ids),
+            (v_ids, w_ids),
+            (a, b),
+            (a, c),
+            (a, d),
+            (b, c),
+            (b, d),
+            (c, d),
+        )
     )
-
-    # --- batched 4-clique enumeration ------------------------------------ #
-    fptr, fidx = forward
-    candidates, sizes = concatenated_rows(fptr, fidx, w_ids)
-    if candidates.size:
-        owner = np.repeat(np.arange(num_triangles, dtype=np.int64), sizes)
-        keep = probability_of.has_edges(v_ids[owner], candidates)
-        owner, candidates = owner[keep], candidates[keep]
-        keep = probability_of.has_edges(u_ids[owner], candidates)
-        owner, candidates = owner[keep], candidates[keep]
-    else:
-        owner = candidates = empty_int
-
-    if owner.size == 0:
-        return _without_cliques(tri_probs)
-
-    a, b, c, d = u_ids[owner], v_ids[owner], w_ids[owner], candidates
-    p_ab = probability_of(a, b)
-    p_ac = probability_of(a, c)
-    p_ad = probability_of(a, d)
-    p_bc = probability_of(b, c)
-    p_bd = probability_of(b, d)
-    p_cd = probability_of(c, d)
+    tri_probs = p_uv * p_uw * p_vw
 
     # --- scatter every 4-clique to its four member triangles -------------- #
     n = csr.num_vertices
@@ -263,12 +276,29 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
             count=x.size,
         )
 
-    # Member (a,b,c) is the generating triangle itself (its row is `owner`);
-    # extension products follow the scalar p(u,z)·p(v,z)·p(w,z) order.
-    num_cliques = int(owner.size)
-    clique_triangles = np.stack(
-        [owner, rows_of(a, b, d), rows_of(a, c, d), rows_of(b, c, d)], axis=1
-    )
+    # Member (a,b,c) is the clique's lexicographically smallest triangle (the
+    # generating triangle of the full enumeration); extension products follow
+    # the scalar p(u,z)·p(v,z)·p(w,z) order.
+    num_cliques = int(a.size)
+    if vectorized:
+        # One binary search over the four member triples of every clique;
+        # elementwise identical to four separate rows_of calls.
+        member_keys = np.concatenate(
+            [
+                (a * n + b) * n + c,
+                (a * n + b) * n + d,
+                (a * n + c) * n + d,
+                (b * n + c) * n + d,
+            ]
+        )
+        clique_triangles = np.ascontiguousarray(
+            np.searchsorted(lookup, member_keys).reshape(4, num_cliques).T
+        )
+    else:
+        clique_triangles = np.stack(
+            [rows_of(a, b, c), rows_of(a, b, d), rows_of(a, c, d), rows_of(b, c, d)],
+            axis=1,
+        )
     member_rows = clique_triangles.T.reshape(-1)
     completing_ids = np.concatenate([d, c, b, a])
     extensions = np.concatenate(
@@ -297,6 +327,292 @@ def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleInd
         tri_cliques=clique_ids[order],
         clique_triangles=clique_triangles,
         clique_pair_positions=pair_rank.reshape(4, num_cliques).T.copy(),
+    )
+
+
+def build_triangle_extension_index(csr: CSRProbabilisticGraph) -> CSRTriangleIndex:
+    """Index every triangle of ``csr`` with its 4-clique extension probabilities.
+
+    Fully batched pipeline:
+
+    1. enumerate all triangles as parallel id arrays
+       (:func:`~repro.deterministic.cliques.triangle_arrays_csr`) and gather
+       their edge probabilities with the composite-key lookup;
+    2. enumerate all 4-cliques in one batch — for every triangle
+       ``(u, v, w)`` the candidates are the forward row of ``w``, filtered by
+       two vectorized edge-membership tests against ``v`` and ``u``;
+    3. scatter each 4-clique to its four member triangles: the completing
+       vertex and the extension probability ``Pr(E_z)`` are computed for all
+       cliques at once from the six gathered edge probabilities, and one
+       ``lexsort`` groups the (triangle, clique) pairs into the flat postings
+       arrays, sorted per triangle by completing vertex.  The clique → pair
+       back-pointers (``clique_pair_positions``) fall out of the same sort,
+       giving the peel engine its O(1) clique-kill operation for free.
+
+    Steps 1–2 discover the canonical triangle/4-clique id sets; step 3 is the
+    shared assembly (:func:`_assemble_triangle_index`) also used by the
+    incremental delta path.
+    """
+    forward = forward_adjacency_csr(csr)
+    u_ids, v_ids, w_ids = triangle_arrays_csr(csr, forward=forward)
+    num_triangles = int(u_ids.size)
+    empty_int = np.empty(0, dtype=np.int64)
+
+    if num_triangles == 0:
+        owner = candidates = empty_int
+    else:
+        probability_of = _EdgeProbabilityLookup(csr)
+        # --- batched 4-clique enumeration -------------------------------- #
+        fptr, fidx = forward
+        candidates, sizes = concatenated_rows(fptr, fidx, w_ids)
+        if candidates.size:
+            owner = np.repeat(np.arange(num_triangles, dtype=np.int64), sizes)
+            keep = probability_of.has_edges(v_ids[owner], candidates)
+            owner, candidates = owner[keep], candidates[keep]
+            keep = probability_of.has_edges(u_ids[owner], candidates)
+            owner, candidates = owner[keep], candidates[keep]
+        else:
+            owner = candidates = empty_int
+
+    # Because the generating triangle (a,b,c) is the clique's lexicographic
+    # minimum and owners ascend with candidates sorted within each owner, the
+    # quadruples arrive in lexicographic (a,b,c,d) order — the canonical
+    # clique order the assembly expects.
+    return _assemble_triangle_index(
+        csr,
+        u_ids,
+        v_ids,
+        w_ids,
+        u_ids[owner],
+        v_ids[owner],
+        w_ids[owner],
+        candidates,
+    )
+
+
+def clique_vertex_rows(
+    index: CSRTriangleIndex, triangle_rows: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the ``(C, 4)`` ascending vertex ids of every indexed 4-clique.
+
+    Row ``c`` lists the four vertices of clique ``c`` in ascending order; rows
+    appear in the index's clique order (lexicographic by vertex quadruple).
+    ``triangle_rows`` may pass a prebuilt ``(T, 3)`` array of
+    ``index.triangles`` to avoid re-materialising it.
+    """
+    if index.num_cliques == 0:
+        return np.empty((0, 4), dtype=np.int64)
+    if triangle_rows is None:
+        triangle_rows = np.asarray(index.triangles, dtype=np.int64).reshape(-1, 3)
+    # Member 0 is the generating triangle (a,b,c); the completing vertex of
+    # its (triangle, clique) pair is d, which is larger than c by forward-
+    # adjacency construction, so the concatenation is already ascending.
+    first_members = index.clique_triangles[:, 0]
+    completing = index.tri_completing[index.clique_pair_positions[:, 0]]
+    return np.concatenate(
+        [triangle_rows[first_members], completing[:, None]], axis=1
+    )
+
+
+def _regather_probabilities(
+    old_index: CSRTriangleIndex,
+    new_csr: CSRProbabilisticGraph,
+    rows: np.ndarray,
+) -> CSRTriangleIndex:
+    """Re-price an index whose triangle/4-clique structure is unchanged.
+
+    For probability-only update batches the id sets — and therefore every
+    structural array of the index — are exactly those of ``old_index``; only
+    the value arrays depend on the edge probabilities.  This recomputes
+    ``triangle_probabilities`` and ``tri_extension_probabilities`` with the
+    same gathers and multiplication order as :func:`_assemble_triangle_index`
+    and scatters the extension products through the stored clique → pair
+    back-pointers (the inverse of the assembly's lexsort), so the result is
+    bit-identical to a full reassembly at a fraction of the cost.  The
+    structural arrays are *shared* with ``old_index``, which is safe because
+    nothing downstream mutates them (the peel repair copies to lists).
+    """
+    probability_of = _EdgeProbabilityLookup(new_csr)
+    if old_index.num_cliques == 0:
+        if rows.shape[0]:
+            p_uv, p_uw, p_vw = probability_of.gather(
+                (
+                    (rows[:, 0], rows[:, 1]),
+                    (rows[:, 0], rows[:, 2]),
+                    (rows[:, 1], rows[:, 2]),
+                )
+            )
+            tri_probs = p_uv * p_uw * p_vw
+        else:
+            tri_probs = np.empty(0, dtype=np.float64)
+        extensions_sorted = old_index.tri_extension_probabilities
+    else:
+        quads = clique_vertex_rows(old_index, rows)
+        a, b, c, d = quads[:, 0], quads[:, 1], quads[:, 2], quads[:, 3]
+        p_uv, p_uw, p_vw, p_ab, p_ac, p_ad, p_bc, p_bd, p_cd = probability_of.gather(
+            (
+                (rows[:, 0], rows[:, 1]),
+                (rows[:, 0], rows[:, 2]),
+                (rows[:, 1], rows[:, 2]),
+                (a, b),
+                (a, c),
+                (a, d),
+                (b, c),
+                (b, d),
+                (c, d),
+            )
+        )
+        tri_probs = p_uv * p_uw * p_vw
+        extensions = np.concatenate(
+            [
+                p_ad * p_bd * p_cd,  # triangle (a,b,c), completing vertex d
+                p_ac * p_bc * p_cd,  # triangle (a,b,d), completing vertex c
+                p_ab * p_bc * p_bd,  # triangle (a,c,d), completing vertex b
+                p_ab * p_ac * p_ad,  # triangle (b,c,d), completing vertex a
+            ]
+        )
+        # clique_pair_positions[c, m] is where pre-sort pair m·C + c landed
+        # in the sorted pair arrays — scatter instead of re-sorting.
+        pair_rank = old_index.clique_pair_positions.T.reshape(-1)
+        extensions_sorted = np.empty_like(extensions)
+        extensions_sorted[pair_rank] = extensions
+    return CSRTriangleIndex(
+        triangles=old_index.triangles,
+        triangle_probabilities=tri_probs,
+        tri_clique_indptr=old_index.tri_clique_indptr,
+        tri_completing=old_index.tri_completing,
+        tri_extension_probabilities=extensions_sorted,
+        tri_cliques=old_index.tri_cliques,
+        clique_triangles=old_index.clique_triangles,
+        clique_pair_positions=old_index.clique_pair_positions,
+    )
+
+
+def delta_triangle_extension_index(
+    old_index: CSRTriangleIndex,
+    new_csr: CSRProbabilisticGraph,
+    inserted: np.ndarray,
+    deleted: np.ndarray,
+    old_triangle_rows: np.ndarray | None = None,
+) -> CSRTriangleIndex:
+    """Rebuild a :class:`CSRTriangleIndex` after a batch of edge updates.
+
+    ``inserted`` and ``deleted`` are ``(k, 2)`` int64 arrays of undirected
+    edges (``u < v``, vertex ids of the shared id space) that were added to /
+    removed from the graph that produced ``old_index``; ``new_csr`` is the
+    post-update graph.  Probability-only changes need no structural delta —
+    the assembly re-gathers every edge probability from ``new_csr``.
+
+    Only the triangles and 4-cliques *containing a changed edge* are
+    enumerated: dead ones are dropped from the old id sets by a vectorized
+    membership test, born ones are discovered from the common neighborhoods
+    of the inserted edges, and the merged canonical id sets are handed to the
+    same assembly stage as the full enumeration — the result is bit-identical
+    to ``build_triangle_extension_index(new_csr)`` (pinned by
+    ``tests/test_incremental.py``) at a cost proportional to the changed
+    neighborhood, not the whole graph.
+
+    The caller must guarantee each undirected edge appears at most once
+    across ``inserted``/``deleted`` (no insert-then-delete of the same edge
+    within one batch) and that the vertex set is unchanged.
+    """
+    n = new_csr.num_vertices
+    if n > 2_000_000:
+        raise InvalidParameterError(
+            "delta_triangle_extension_index requires composite-key id space "
+            f"(num_vertices <= 2_000_000, got {n})"
+        )
+    inserted = np.ascontiguousarray(inserted, dtype=np.int64).reshape(-1, 2)
+    deleted = np.ascontiguousarray(deleted, dtype=np.int64).reshape(-1, 2)
+    if old_triangle_rows is None:
+        old_triangle_rows = np.asarray(old_index.triangles, dtype=np.int64).reshape(-1, 3)
+    rows = old_triangle_rows
+
+    if inserted.shape[0] == 0 and deleted.shape[0] == 0:
+        # Probability-only batch: the id sets cannot have changed, so skip
+        # the structural delta entirely and just re-price the value arrays.
+        return _regather_probabilities(old_index, new_csr, rows)
+
+    del_keys = np.sort(deleted[:, 0] * n + deleted[:, 1])
+
+    def touches_deleted(r: np.ndarray) -> np.ndarray:
+        """Mask of rows (triangles or cliques) containing a deleted edge."""
+        count = r.shape[0]
+        if count == 0 or del_keys.size == 0:
+            return np.zeros(count, dtype=bool)
+        width = r.shape[1]
+        keys = np.concatenate(
+            [r[:, i] * n + r[:, j] for i in range(width) for j in range(i + 1, width)]
+        )
+        pair_count = (width * (width - 1)) // 2
+        return (
+            _members_of_sorted_mask(keys, del_keys)
+            .reshape(pair_count, count)
+            .any(axis=0)
+        )
+
+    surviving_rows = rows[~touches_deleted(rows)]
+
+    old_quads = clique_vertex_rows(old_index, rows)
+    surviving_quads = old_quads[~touches_deleted(old_quads)]
+
+    # --- born triangles / 4-cliques: common neighborhoods of inserts ------ #
+    probability_of = _EdgeProbabilityLookup(new_csr)
+    born_tri_blocks: list[np.ndarray] = []
+    born_quad_blocks: list[np.ndarray] = []
+    for x, y in inserted.tolist():
+        common = np.intersect1d(
+            new_csr.neighbor_ids(x), new_csr.neighbor_ids(y), assume_unique=True
+        )
+        if common.size == 0:
+            continue
+        tri = np.empty((common.size, 3), dtype=np.int64)
+        tri[:, 0] = x
+        tri[:, 1] = y
+        tri[:, 2] = common
+        tri.sort(axis=1)
+        born_tri_blocks.append(tri)
+        if common.size >= 2:
+            wi, xi = np.triu_indices(common.size, k=1)
+            wv, xv = common[wi], common[xi]
+            keep = probability_of.has_edges(wv, xv)
+            if keep.any():
+                quad = np.empty((int(keep.sum()), 4), dtype=np.int64)
+                quad[:, 0] = x
+                quad[:, 1] = y
+                quad[:, 2] = wv[keep]
+                quad[:, 3] = xv[keep]
+                quad.sort(axis=1)
+                born_quad_blocks.append(quad)
+
+    def merge_canonical(surviving: np.ndarray, blocks: list[np.ndarray]) -> np.ndarray:
+        """Dedupe born rows, merge with survivors, restore lexicographic order."""
+        if not blocks:
+            # A subsequence of lexicographically sorted rows is already
+            # sorted — delete-only batches skip the re-sort entirely.
+            return np.ascontiguousarray(surviving)
+        born = np.unique(np.vstack(blocks), axis=0)
+        merged = np.vstack([surviving, born]) if surviving.size else born
+        if merged.shape[0] == 0:
+            return merged
+        order = np.lexsort(tuple(merged[:, i] for i in range(merged.shape[1] - 1, -1, -1)))
+        return np.ascontiguousarray(merged[order])
+
+    new_rows = merge_canonical(surviving_rows, born_tri_blocks)
+    new_quads = merge_canonical(surviving_quads, born_quad_blocks)
+    if new_rows.shape[0] == 0:
+        new_rows = new_rows.reshape(0, 3)
+    if new_quads.shape[0] == 0:
+        new_quads = new_quads.reshape(0, 4)
+    return _assemble_triangle_index(
+        new_csr,
+        new_rows[:, 0],
+        new_rows[:, 1],
+        new_rows[:, 2],
+        new_quads[:, 0],
+        new_quads[:, 1],
+        new_quads[:, 2],
+        new_quads[:, 3],
     )
 
 

@@ -39,6 +39,7 @@ parity on every fixture, estimator, and a randomized graph sweep.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from collections.abc import Sequence
 
 import numpy as np
@@ -54,6 +55,7 @@ __all__ = [
     "EstimatorKappaRepair",
     "MonteCarloKappaRepair",
     "peel_kappa_scores",
+    "repair_kappa_scores",
 ]
 
 
@@ -161,6 +163,170 @@ class MonteCarloKappaRepair(KappaRepair):
             else:
                 break
         return best
+
+
+def repair_kappa_scores(
+    index: CSRTriangleIndex,
+    base_scores: np.ndarray,
+    seeds: np.ndarray,
+    repair: KappaRepair,
+) -> np.ndarray:
+    """Repair nucleus scores after a localized change instead of re-peeling.
+
+    ``base_scores`` are the scores of a previous :func:`peel_kappa_scores`
+    run mapped onto the rows of (the possibly rebuilt) ``index``; ``seeds``
+    are the rows whose κ-inputs changed — newborn triangles, and surviving
+    triangles whose triangle probability or 4-clique postings differ from
+    the run that produced ``base_scores`` (their ``base_scores`` entries are
+    ignored).  Returns the exact score array ``peel_kappa_scores(index,
+    initial_kappas, repair)`` would produce, touching only the affected
+    region.
+
+    Only *unit-drop* repairs (the exact DP oracle) are supported: their peel
+    output is order-independent — triangle ``t``'s score is the largest
+    ``k`` such that ``t`` survives in the maximal set ``S_k`` where every
+    member's recomputed κ over the cliques staying inside ``S_k`` is ≥ k, a
+    greatest fixed point that localized repair can converge to from any
+    pointwise upper bound.  The repair runs in two phases:
+
+    1. **Increase closure** — a clean triangle's score can only grow through
+       a chain of score increases rooted at a seed: if ``ν_new(t) = k >
+       ν_old(t)`` with ``t``'s own inputs unchanged, some 4-clique of ``t``
+       has every other member at ``ν_new ≥ k`` and at least one of them is
+       a seed or has itself increased past ``k`` (otherwise the same clique
+       already certified ``t`` at ``k`` before the change).  The closure
+       therefore grows from the seeds along 4-cliques, admitting a member
+       ``m`` when ``min`` of the members' initial κ (a static upper bound
+       on any new score) exceeds ``base_scores[m]`` — triangles that fail
+       that test cannot increase, so everything outside the closure keeps
+       ``base_scores`` as a valid upper bound.
+    2. **Downward fixed point** — starting from the upper bound ``ν̂`` =
+       initial κ on the closure / ``base_scores`` elsewhere, repeatedly
+       re-evaluate ``f(t) = max {k ≤ ν̂(t) :`` recompute over the cliques
+       whose other members all have ``ν̂ ≥ k`` is ``≥ k}``, lowering ``ν̂``
+       and re-queueing affected co-members until nothing moves.  Survivor
+       probabilities are gathered in posting-slice order, the same order the
+       peel engine sums them, so the floating-point comparisons agree
+       bit-for-bit.  The evaluation steps ``k`` down one level at a time —
+       the survivor set grows as ``k`` falls, so a failed level cannot be
+       skipped — except that once every posting survives, lowering ``k``
+       further cannot change the recompute and the result is taken
+       directly.
+
+    ``tests/test_incremental.py`` pins equality with the full peel on
+    randomized graphs and update batches.
+    """
+    if not repair.unit_drop:
+        raise InvalidParameterError(
+            "repair_kappa_scores requires a unit-drop repair (the exact DP "
+            f"oracle); got {repair.name!r}, whose scores depend on the full "
+            "peel trajectory"
+        )
+    num_triangles = index.num_triangles
+    base_scores = np.asarray(base_scores, dtype=np.int64)
+    if base_scores.shape != (num_triangles,):
+        raise InvalidParameterError(
+            "base_scores must be parallel to index.triangles "
+            f"(expected shape ({num_triangles},), got {base_scores.shape})"
+        )
+    scores = base_scores.copy()
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64).reshape(-1))
+    if seeds.size == 0:
+        return scores
+    if seeds[0] < 0 or seeds[-1] >= num_triangles:
+        raise InvalidParameterError(
+            f"seed rows must lie in [0, {num_triangles}), got "
+            f"[{int(seeds[0])}, {int(seeds[-1])}]"
+        )
+
+    nu: list[int] = scores.tolist()
+    base: list[int] = base_scores.tolist()
+    indptr: list[int] = index.tri_clique_indptr.tolist()
+    ext: list[float] = index.tri_extension_probabilities.tolist()
+    pair_cliques: list[int] = index.tri_cliques.tolist()
+    clique_members: list[list[int]] = index.clique_triangles.tolist()
+    recompute = repair.recompute
+
+    kappa_init: dict[int, int] = {}
+
+    def init_of(t: int) -> int:
+        value = kappa_init.get(t)
+        if value is None:
+            value = recompute(t, ext[indptr[t]:indptr[t + 1]])
+            kappa_init[t] = value
+        return value
+
+    # --- phase 1: closure of triangles whose score may have increased ----- #
+    in_closure = [False] * num_triangles
+    joined: list[int] = []
+    for s in seeds.tolist():
+        in_closure[s] = True
+        joined.append(s)
+    stack = list(joined)
+    while stack:
+        t = stack.pop()
+        for p in range(indptr[t], indptr[t + 1]):
+            members = clique_members[pair_cliques[p]]
+            # min κ_init over all four members bounds the level any member
+            # could rise to through this clique.
+            bound = min(init_of(x) for x in members)
+            for m in members:
+                if in_closure[m] or bound <= base[m]:
+                    continue
+                in_closure[m] = True
+                joined.append(m)
+                stack.append(m)
+
+    # --- phase 2: greatest fixed point from the upper bound --------------- #
+    for t in joined:
+        nu[t] = init_of(t)
+    in_queue = [False] * num_triangles
+    work: deque[int] = deque()
+
+    def enqueue(m: int) -> None:
+        if not in_queue[m]:
+            in_queue[m] = True
+            work.append(m)
+
+    for t in joined:
+        enqueue(t)
+        for p in range(indptr[t], indptr[t + 1]):
+            for m in clique_members[pair_cliques[p]]:
+                enqueue(m)
+
+    while work:
+        t = work.popleft()
+        in_queue[t] = False
+        k = nu[t]
+        if k <= NO_VALID_K:
+            continue
+        start, stop = indptr[t], indptr[t + 1]
+        total = stop - start
+        while True:
+            survivors = []
+            for p in range(start, stop):
+                for m in clique_members[pair_cliques[p]]:
+                    if m != t and nu[m] < k:
+                        break
+                else:
+                    survivors.append(ext[p])
+            result = recompute(t, survivors)
+            if result >= k:
+                break
+            if len(survivors) == total:
+                # Lowering k cannot add survivors: the recompute is final.
+                k = result
+                break
+            k -= 1
+        if k < nu[t]:
+            nu[t] = k
+            for p in range(start, stop):
+                for m in clique_members[pair_cliques[p]]:
+                    if m != t and nu[m] > k:
+                        enqueue(m)
+
+    scores[:] = nu
+    return scores
 
 
 def peel_kappa_scores(

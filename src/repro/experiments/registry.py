@@ -16,6 +16,7 @@ from repro.experiments import (
     figure6,
     figure7,
     figure8,
+    incremental_updates,
     table1,
     table2,
     table3,
@@ -38,6 +39,7 @@ SPECS: dict[str, ExperimentSpec] = {
         figure8.SPEC,
         ablation_hybrid.SPEC,
         ablation_sampling.SPEC,
+        incremental_updates.SPEC,
     )
 }
 

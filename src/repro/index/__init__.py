@@ -20,7 +20,8 @@ from repro.index.builders import (
     load_index,
     local_result_from_index,
 )
-from repro.index.fingerprint import graph_fingerprint
+from repro.index.fingerprint import graph_fingerprint, versioned_fingerprint
+from repro.index.incremental import EdgeUpdate, apply_updates
 from repro.index.nucleus_index import FORMAT_NAME, FORMAT_VERSION, NucleusIndex
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "graph_fingerprint",
+    "versioned_fingerprint",
+    "EdgeUpdate",
+    "apply_updates",
     "build_index",
     "build_local_index",
     "build_global_index",

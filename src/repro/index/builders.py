@@ -34,7 +34,6 @@ from repro.core.local import (
 from repro.core.result import LocalNucleusDecomposition
 from repro.core.weak_nucleus import weak_nucleus_decomposition
 from repro.deterministic.cliques import canonical_triangle
-from repro.deterministic.connectivity import UnionFind
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
@@ -52,9 +51,40 @@ __all__ = [
 load_index = NucleusIndex.load
 
 
+def _flatten_forest(parent: np.ndarray) -> np.ndarray:
+    """Pointer-jump ``parent ← parent[parent]`` to its fixpoint (full compression)."""
+    while True:
+        grandparent = parent[parent]
+        if np.array_equal(grandparent, parent):
+            return parent
+        parent = grandparent
+
+
+def _union_batches(parent: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge every pair ``(a[i], b[i])`` into the union-find forest ``parent``.
+
+    Vectorized min-hooking: resolve both endpoints to roots, hook the larger
+    root under the smaller (``minimum.at`` arbitrates when several pairs
+    hook the same root in one pass), and repeat until no pair spans two
+    trees.  Pointers only ever decrease, so the forest stays acyclic, and
+    the resulting *partition* equals what sequential unions would produce —
+    partitions are order-independent even though the root choices are not.
+    Returns the flattened forest.
+    """
+    while True:
+        parent = _flatten_forest(parent)
+        root_a, root_b = parent[a], parent[b]
+        spanning = root_a != root_b
+        if not spanning.any():
+            return parent
+        low = np.minimum(root_a[spanning], root_b[spanning])
+        high = np.maximum(root_a[spanning], root_b[spanning])
+        np.minimum.at(parent, high, low)
+
+
 def _nucleus_level_groups(
     scores: np.ndarray, index: CSRTriangleIndex
-) -> dict[int, list[list[int]]]:
+) -> dict[int, list[np.ndarray]]:
     """Compute the per-level nucleus components from the engine's arrays.
 
     Id-space replica of
@@ -67,48 +97,71 @@ def _nucleus_level_groups(
 
     Because the allowed-clique sets are nested downwards (a clique allowed
     at ``k`` is allowed at every smaller level), one descending sweep
-    suffices: cliques enter a single incremental
-    :class:`~repro.deterministic.connectivity.UnionFind` at the level equal
-    to their minimum member score, and each level just snapshots the
-    components of its covered triangles.  Groups are sorted the way
-    :meth:`NucleusIndex.from_local_result` sorts them, so the resulting
-    snapshot is identical to the dict-result detour.
+    suffices: cliques enter a single union-find forest in batches at the
+    level equal to their minimum member score (:func:`_union_batches`).  A
+    triangle is covered at ``k`` exactly when some clique containing it has
+    entered by then, i.e. when its best containing-clique level
+    (``cover_level``, one ``maximum.at`` scatter) is at least ``k`` — which
+    also implies its own score is.  Each level then snapshots the
+    components of its covered triangles with one stable argsort over the
+    flattened roots; levels where no clique entered share the previous
+    level's groups unchanged.  Groups come out exactly as
+    :meth:`NucleusIndex.from_local_result` sorts them — ordered by smallest
+    member, members ascending — so the resulting snapshot is identical to
+    the dict-result detour.
     """
     num_triangles = scores.size
     max_score = int(scores.max()) if num_triangles else -1
-    level_groups: dict[int, list[list[int]]] = {}
+    level_groups: dict[int, list[np.ndarray]] = {}
     if max_score < 0:
         return level_groups
 
     clique_triangles = index.clique_triangles
-    members_list = clique_triangles.tolist()
     clique_min_score = (
         scores[clique_triangles].min(axis=1)
         if clique_triangles.shape[0]
         else np.empty(0, dtype=np.int64)
     )
-    entry_order = np.argsort(-clique_min_score, kind="stable").tolist()
-    entry_levels = clique_min_score[entry_order].tolist() if entry_order else []
+    entry_order = np.argsort(-clique_min_score, kind="stable")
+    entry_levels = clique_min_score[entry_order]
+    entry_members = clique_triangles[entry_order]
+    cover_level = np.full(num_triangles, -1, dtype=np.int64)
+    if clique_triangles.shape[0]:
+        np.maximum.at(
+            cover_level, clique_triangles.ravel(), np.repeat(clique_min_score, 4)
+        )
 
-    components = UnionFind(num_triangles)
-    covered_count = np.zeros(num_triangles, dtype=np.int64)
+    parent = np.arange(num_triangles, dtype=np.int64)
     next_entry = 0
     for k in range(max_score, -1, -1):
-        while next_entry < len(entry_order) and entry_levels[next_entry] >= k:
-            t0, t1, t2, t3 = members_list[entry_order[next_entry]]
-            next_entry += 1
-            components.union(t0, t1)
-            components.union(t0, t2)
-            components.union(t0, t3)
-            covered_count[t0] += 1
-            covered_count[t1] += 1
-            covered_count[t2] += 1
-            covered_count[t3] += 1
-        covered = (scores >= k) & (covered_count > 0)
-        groups: dict[int, list[int]] = {}
-        for t in np.flatnonzero(covered).tolist():
-            groups.setdefault(components.find(t), []).append(t)
-        level_groups[k] = sorted(groups.values())
+        # Cliques whose minimum member score is >= k enter here (the entry
+        # list descends, so they form the next contiguous slice).
+        stop = int(np.searchsorted(-entry_levels, -k, side="right"))
+        if stop > next_entry:
+            batch = entry_members[next_entry:stop]
+            parent = _union_batches(
+                parent, np.repeat(batch[:, 0], 3), batch[:, 1:].ravel()
+            )
+            next_entry = stop
+        elif k + 1 in level_groups:
+            level_groups[k] = level_groups[k + 1]
+            continue
+        ids = np.flatnonzero(cover_level >= k)
+        if ids.size == 0:
+            level_groups[k] = []
+            continue
+        roots = parent[ids]
+        by_root = np.argsort(roots, kind="stable")
+        sorted_ids = ids[by_root]
+        sorted_roots = roots[by_root]
+        bounds = [0, *(np.flatnonzero(sorted_roots[1:] != sorted_roots[:-1]) + 1).tolist()]
+        bounds.append(sorted_ids.size)
+        chunks = [sorted_ids[s:e] for s, e in zip(bounds, bounds[1:])]
+        # ids ascend within each chunk (stable sort), so chunk[0] is the
+        # group's minimum member — the lexicographic sort key of the
+        # reference ordering.
+        chunks.sort(key=lambda chunk: int(chunk[0]))
+        level_groups[k] = chunks
     return level_groups
 
 

@@ -22,10 +22,31 @@ import hashlib
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
-__all__ = ["graph_fingerprint"]
+__all__ = ["graph_fingerprint", "versioned_fingerprint"]
 
 #: Domain separator, bumped if the hashed byte layout ever changes.
 _FINGERPRINT_SALT = b"repro-graph-fingerprint-v1"
+
+#: Domain separator for versioned (base + update lineage) fingerprints.
+_VERSIONED_SALT = b"repro-versioned-fingerprint-v1"
+
+
+def versioned_fingerprint(
+    base_fingerprint: str, revision: int, update_log_digest: str
+) -> str:
+    """Combine an index's update lineage into one hex SHA-256 cache key.
+
+    Two indexes share this key only when they were produced from the same
+    base graph by the same ordered sequence of update batches — the keying
+    the query-engine LRU and any external cache need to retain entries for
+    every revision they have seen without ever serving a stale one.
+    """
+    digest = hashlib.sha256()
+    digest.update(_VERSIONED_SALT)
+    digest.update(base_fingerprint.encode("utf-8"))
+    digest.update(str(int(revision)).encode("utf-8"))
+    digest.update(update_log_digest.encode("utf-8"))
+    return digest.hexdigest()
 
 
 def graph_fingerprint(graph: ProbabilisticGraph | CSRProbabilisticGraph) -> str:

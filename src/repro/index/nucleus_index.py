@@ -51,12 +51,17 @@ from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
 from repro.exceptions import IndexCompatibilityError, IndexFormatError, InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
-from repro.index.fingerprint import graph_fingerprint
+from repro.index.fingerprint import graph_fingerprint, versioned_fingerprint
 
 __all__ = ["NucleusIndex", "FORMAT_NAME", "FORMAT_VERSION"]
 
 FORMAT_NAME = "repro-nucleus-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Format versions this build can read.  Version 1 lacks the update-lineage
+#: header fields (``base_fingerprint``/``update_log_digest``/``revision``)
+#: introduced in version 2; they default to "revision 0 of its own graph".
+_COMPATIBLE_VERSIONS = (1, 2)
 
 #: Key of the JSON header entry inside the ``.npz`` archive.
 _HEADER_KEY = "__header__"
@@ -106,6 +111,46 @@ def _json_safe_labels(labels: list) -> list:
     return list(labels)
 
 
+def _component_aggregates(
+    rows: np.ndarray,
+    member_scores: np.ndarray,
+    n: int,
+    edge_keys: np.ndarray,
+    edge_prob: np.ndarray,
+) -> tuple[int, int, float, float, int]:
+    """Summary statistics of one nucleus component.
+
+    ``rows`` holds the component's member triangles as ``(m, 3)`` vertex-id
+    triples, ``member_scores`` their parallel ν values; ``edge_keys`` /
+    ``edge_prob`` are the graph's sorted undirected edge records.  Returns
+    ``(n_vertices, n_edges, sum_edge_prob, log_reliability, max_score)``.
+
+    This is the only place the per-component reductions happen: the
+    incremental maintenance path (:mod:`repro.index.incremental`) reuses a
+    stored aggregate only when recomputing it here would read identical
+    inputs, which is what keeps reused and recomputed snapshots
+    bit-identical (floating-point sums are order-sensitive, so the inputs
+    must match bit for bit, not just semantically).
+    """
+    keys = np.unique(
+        np.concatenate(
+            [
+                rows[:, 0] * n + rows[:, 1],
+                rows[:, 0] * n + rows[:, 2],
+                rows[:, 1] * n + rows[:, 2],
+            ]
+        )
+    )
+    probs = edge_prob[np.searchsorted(edge_keys, keys)]
+    return (
+        int(np.unique(rows.ravel()).size),
+        int(keys.size),
+        float(probs.sum()),
+        float(np.log(probs).sum()),
+        int(member_scores.max()),
+    )
+
+
 class NucleusIndex:
     """An immutable, persistable snapshot of one nucleus decomposition.
 
@@ -119,9 +164,9 @@ class NucleusIndex:
     def __init__(self, header: dict, arrays: dict[str, np.ndarray]) -> None:
         _require(header.get("format") == FORMAT_NAME, "not a repro nucleus index header")
         _require(
-            header.get("format_version") == FORMAT_VERSION,
+            header.get("format_version") in _COMPATIBLE_VERSIONS,
             f"unsupported index format version {header.get('format_version')!r} "
-            f"(this build reads version {FORMAT_VERSION})",
+            f"(this build reads versions {list(_COMPATIBLE_VERSIONS)})",
         )
         _require(header.get("mode") in _MODES, f"unknown mode {header.get('mode')!r}")
         _require(isinstance(header.get("vertex_labels"), list), "missing vertex labels")
@@ -201,6 +246,44 @@ class NucleusIndex:
         return self.header["fingerprint"]
 
     @property
+    def base_fingerprint(self) -> str:
+        """Fingerprint of the revision-0 graph this index's lineage started from.
+
+        Equals :attr:`fingerprint` for a freshly-built index; stays fixed as
+        :meth:`apply_updates` advances the revision.
+        """
+        return self.header.get("base_fingerprint", self.fingerprint)
+
+    @property
+    def update_log_digest(self) -> str:
+        """Chained SHA-256 digest over the ordered update batches applied so far.
+
+        Empty for a freshly-built (revision 0) index.
+        """
+        return self.header.get("update_log_digest", "")
+
+    @property
+    def revision(self) -> int:
+        """How many update batches produced this index (0 = built from scratch)."""
+        return int(self.header.get("revision", 0))
+
+    @property
+    def cache_key(self) -> str:
+        """Versioned cache key: distinct for every (base graph, update history).
+
+        Revision 0 keys by the content :attr:`fingerprint` (so rebuilt-equal
+        indexes share cached answers); updated revisions key by the lineage
+        (:func:`~repro.index.fingerprint.versioned_fingerprint`), so an
+        engine refreshed onto a new revision never serves a stale entry yet
+        keeps every clean entry of earlier revisions addressable.
+        """
+        if self.revision == 0:
+            return self.fingerprint
+        return versioned_fingerprint(
+            self.base_fingerprint, self.revision, self.update_log_digest
+        )
+
+    @property
     def vertex_labels(self) -> list:
         """Original vertex label of every CSR id (``vertex_labels[i]`` ↔ id ``i``)."""
         return self.header["vertex_labels"]
@@ -233,12 +316,14 @@ class NucleusIndex:
     def describe(self) -> dict:
         """Return a JSON-able summary of the index (used by ``repro-index info``)."""
         return {
-            "format": FORMAT_NAME,
-            "format_version": FORMAT_VERSION,
+            "format": self.header["format"],
+            "format_version": self.header["format_version"],
             "mode": self.mode,
             "theta": self.theta,
             "params": self.params,
             "fingerprint": self.fingerprint,
+            "base_fingerprint": self.base_fingerprint,
+            "revision": self.revision,
             "num_vertices": self.num_vertices,
             "num_edges": self.num_edges,
             "num_triangles": self.num_triangles,
@@ -324,6 +409,7 @@ class NucleusIndex:
         mode: str,
         theta: float,
         params: dict | None = None,
+        comp_reuse=None,
     ) -> "NucleusIndex":
         """Snapshot a decomposition handed over directly as CSR-id arrays.
 
@@ -331,10 +417,19 @@ class NucleusIndex:
         ``triangle_rows`` is the ``(T, 3)`` id-triple array (each row sorted
         ascending, rows in lexicographic order), ``triangle_scores`` the
         parallel ν array, and ``level_groups`` maps each indexed level ``k``
-        to its components as lists of positions into ``triangle_rows``.  The
-        produced index is identical to what :meth:`from_local_result` /
-        :meth:`from_nuclei` build from the equivalent label-space result
-        objects.
+        to its components as lists (or id arrays) of positions into
+        ``triangle_rows``.  The produced index is identical to what
+        :meth:`from_local_result` / :meth:`from_nuclei` build from the
+        equivalent label-space result objects.
+
+        ``comp_reuse`` is an advanced hook for the incremental maintenance
+        path: called once with the assembled ``(comp_level, comp_indptr,
+        comp_triangles)`` arrays, it may return ``(mask, n_vertices,
+        n_edges, sum_edge_prob, log_reliability, max_score)`` — full-length
+        per-component arrays valid where ``mask`` — to skip recomputing the
+        aggregates of components it can prove unchanged.  The caller is
+        responsible for only reusing values whose recomputation would read
+        bit-identical inputs.
         """
         rows = np.ascontiguousarray(triangle_rows, dtype=np.int64).reshape(-1, 3)
         scores = np.ascontiguousarray(triangle_scores, dtype=np.int64)
@@ -354,7 +449,16 @@ class NucleusIndex:
                 raise InvalidParameterError(
                     "triangle_rows must be sorted lexicographically"
                 )
-        return cls._build(csr, rows, scores, level_groups, mode, theta, dict(params or {}))
+        return cls._build(
+            csr,
+            rows,
+            scores,
+            level_groups,
+            mode,
+            theta,
+            dict(params or {}),
+            comp_reuse=comp_reuse,
+        )
 
     @classmethod
     def from_local_result(
@@ -443,10 +547,19 @@ class NucleusIndex:
         mode: str,
         theta: float,
         params: dict,
+        comp_reuse=None,
+        labels=None,
     ) -> "NucleusIndex":
-        """Assemble the flat arrays from id-space triangles and component groups."""
+        """Assemble the flat arrays from id-space triangles and component groups.
+
+        ``labels`` may carry a precomputed ``_json_safe_labels`` result for
+        the same vertex set (the incremental path reuses the previous
+        revision's header list, since ``apply_updates`` never changes the
+        vertex set).
+        """
         n = csr.num_vertices
-        labels = _json_safe_labels(csr.vertex_labels)
+        if labels is None:
+            labels = _json_safe_labels(csr.vertex_labels)
         t_count = triangle_rows.shape[0]
 
         # Undirected edge records, ordered by (u, v): because CSR rows are
@@ -481,40 +594,59 @@ class NucleusIndex:
         comp_indptr = np.zeros(c_count + 1, dtype=np.int64)
         sizes = np.array([len(m) for m in comp_members], dtype=np.int64)
         np.cumsum(sizes, out=comp_indptr[1:])
-        comp_triangles = np.array(
-            [p for members in comp_members for p in members], dtype=np.int64
+        comp_level_arr = np.array(comp_level, dtype=np.int64)
+        comp_triangles = (
+            np.concatenate([np.asarray(m, dtype=np.int64) for m in comp_members])
+            if comp_members
+            else np.empty(0, dtype=np.int64)
         )
         comp_n_vertices = np.zeros(c_count, dtype=np.int64)
         comp_n_edges = np.zeros(c_count, dtype=np.int64)
         comp_max_score = np.zeros(c_count, dtype=np.int64)
         comp_sum_edge_prob = np.zeros(c_count, dtype=np.float64)
         comp_log_reliability = np.zeros(c_count, dtype=np.float64)
-        for i, members in enumerate(comp_members):
-            rows = triangle_rows[np.asarray(members, dtype=np.int64)]
-            comp_n_vertices[i] = np.unique(rows.ravel()).size
-            keys = np.unique(
-                np.concatenate(
-                    [
-                        rows[:, 0] * n + rows[:, 1],
-                        rows[:, 0] * n + rows[:, 2],
-                        rows[:, 1] * n + rows[:, 2],
-                    ]
+        todo = range(c_count)
+        if comp_reuse is not None and c_count:
+            reuse = comp_reuse(comp_level_arr, comp_indptr, comp_triangles)
+            if reuse is not None:
+                mask, *cached = reuse
+                targets = (
+                    comp_n_vertices,
+                    comp_n_edges,
+                    comp_sum_edge_prob,
+                    comp_log_reliability,
+                    comp_max_score,
                 )
+                for target, source in zip(targets, cached):
+                    target[mask] = source[mask]
+                todo = np.flatnonzero(~mask).tolist()
+        for i in todo:
+            member_ids = np.asarray(comp_members[i], dtype=np.int64)
+            (
+                comp_n_vertices[i],
+                comp_n_edges[i],
+                comp_sum_edge_prob[i],
+                comp_log_reliability[i],
+                comp_max_score[i],
+            ) = _component_aggregates(
+                triangle_rows[member_ids],
+                triangle_scores[member_ids],
+                n,
+                edge_keys,
+                edge_prob,
             )
-            positions = np.searchsorted(edge_keys, keys)
-            probs = edge_prob[positions]
-            comp_n_edges[i] = keys.size
-            comp_sum_edge_prob[i] = float(probs.sum())
-            comp_log_reliability[i] = float(np.log(probs).sum())
-            comp_max_score[i] = int(triangle_scores[members].max())
 
+        fingerprint = graph_fingerprint(csr)
         header = {
             "format": FORMAT_NAME,
             "format_version": FORMAT_VERSION,
             "mode": mode,
             "theta": float(theta),
             "params": params,
-            "fingerprint": graph_fingerprint(csr),
+            "fingerprint": fingerprint,
+            "base_fingerprint": fingerprint,
+            "update_log_digest": "",
+            "revision": 0,
             "vertex_labels": labels,
         }
         arrays = {
@@ -524,7 +656,7 @@ class NucleusIndex:
             "triangles": triangle_rows.reshape(t_count, 3),
             "triangle_scores": triangle_scores,
             "levels": levels,
-            "comp_level": np.array(comp_level, dtype=np.int64),
+            "comp_level": comp_level_arr,
             "comp_indptr": comp_indptr,
             "comp_triangles": comp_triangles,
             "comp_n_vertices": comp_n_vertices,
@@ -542,6 +674,30 @@ class NucleusIndex:
             "edge_order": np.lexsort((np.arange(edge_u.size), -edge_max_score)),
         }
         return cls(header, arrays)
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_updates(self, updates) -> "NucleusIndex":
+        """Return a new index for this graph with a batch of edge updates applied.
+
+        ``updates`` is an iterable of
+        :class:`~repro.index.incremental.EdgeUpdate` records (or equivalent
+        tuples) — edge inserts, deletes, and probability changes in original
+        label space.  The returned index is *exactly* what rebuilding from
+        scratch over the updated graph would produce (same arrays, same
+        content fingerprint), but carries the update lineage forward:
+        :attr:`base_fingerprint` stays at this lineage's revision-0 graph,
+        :attr:`revision` increments, and :attr:`update_log_digest` chains a
+        digest of the batch, so :attr:`cache_key` distinguishes every
+        revision.  Local / exact-DP indexes are maintained incrementally (a
+        localized re-peel of the dirty triangle neighborhood); other
+        configurations fall back to a deterministic full rebuild.  See
+        :func:`repro.index.incremental.apply_updates`.
+        """
+        from repro.index.incremental import apply_updates
+
+        return apply_updates(self, updates)
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -6,8 +6,12 @@ which nuclei are the densest / most reliable — without ever re-running a
 decomposition: every answer is a gather over the index's flat arrays.  Each
 scalar query has a batched variant that answers thousands of queries in one
 numpy pass, and the scalar paths are fronted by an
-:class:`~repro.query.cache.LRUCache` keyed by ``(fingerprint, query)`` so
-hot queries never recompute.
+:class:`~repro.query.cache.LRUCache` keyed by ``(cache_key, query)`` so hot
+queries never recompute.  The cache key is the index's *versioned*
+fingerprint (:attr:`~repro.index.NucleusIndex.cache_key`), so after
+:meth:`refresh`-ing the engine onto an incrementally-updated index
+(``apply_updates``) stale entries are never served while entries for any
+revision the engine already answered remain valid.
 
 Exactness contract: every query returns exactly what recomputing the
 decomposition and inspecting its result objects would return (pinned by
@@ -80,6 +84,34 @@ class NucleusQueryEngine:
         self._level_smallest: dict[int, np.ndarray] = {}
         self._comp_vertices: dict[int, np.ndarray] = {}
         self._materialised: dict[int, ProbabilisticNucleus] = {}
+
+    def refresh(
+        self,
+        index: NucleusIndex,
+        graph: ProbabilisticGraph | CSRProbabilisticGraph | None = None,
+    ) -> "NucleusQueryEngine":
+        """Swap in a new index revision without discarding the result cache.
+
+        Intended for the incremental-update loop: after
+        ``new_index = index.apply_updates(batch)``, call
+        ``engine.refresh(new_index)`` and keep querying.  All per-index lazy
+        structures (level masks, materialised nuclei, label table) are
+        rebuilt on demand against the new index, while the LRU cache is kept
+        as-is — its entries are keyed by each revision's
+        :attr:`~repro.index.NucleusIndex.cache_key`, so entries for prior
+        revisions are simply never hit again (and age out) rather than being
+        served stale.  As in ``__init__``, passing ``graph`` verifies the
+        new index against it first.  Returns ``self`` for chaining.
+        """
+        if graph is not None:
+            index.verify_against(graph)
+        self.index = index
+        self._id_of = {label: i for i, label in enumerate(index.vertex_labels)}
+        self._level_masks = {}
+        self._level_smallest = {}
+        self._comp_vertices = {}
+        self._materialised = {}
+        return self
 
     # ------------------------------------------------------------------ #
     # label / level resolution
@@ -154,7 +186,7 @@ class NucleusQueryEngine:
         nucleus at any level).  Unknown vertices raise
         :class:`~repro.exceptions.VertexNotFoundError`.
         """
-        key = (self.index.fingerprint, "max_score", vertex)
+        key = (self.index.cache_key, "max_score", vertex)
         cached = self.cache.get(key)
         if cached is None:
             cached = int(self.index.arrays["vertex_max_score"][self._vertex_id(vertex)])
@@ -202,7 +234,7 @@ class NucleusQueryEngine:
             raise InvalidParameterError("nucleus_of requires at least one seed vertex")
         k = self._check_level(k)
         sorted_seeds = tuple(sorted(seed_labels, key=lambda s: (str(type(s)), str(s))))
-        key = (self.index.fingerprint, "nucleus_of", sorted_seeds, k)
+        key = (self.index.cache_key, "nucleus_of", sorted_seeds, k)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
@@ -285,7 +317,7 @@ class NucleusQueryEngine:
         """
         if n < 0:
             raise InvalidParameterError(f"n must be non-negative, got {n}")
-        key = (self.index.fingerprint, "top_nuclei", n, k, by)
+        key = (self.index.cache_key, "top_nuclei", n, k, by)
         cached = self.cache.get(key)
         if cached is None:
             components, _ = self.rank_table(k=k, by=by)

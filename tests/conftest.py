@@ -8,9 +8,15 @@ structure is worked out in the paper's Examples 1 and 2.
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.graph.generators import clique_graph, planted_nucleus_graph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+
+# The tier-2 CI job selects this profile (--hypothesis-profile=ci) so a
+# failing property test prints its @reproduce_failure blob — paste the blob
+# onto the test to replay the exact falsifying example locally.
+hypothesis_settings.register_profile("ci", print_blob=True)
 
 
 @pytest.fixture
@@ -139,3 +145,23 @@ def disconnected_graph() -> ProbabilisticGraph:
     graph.add_edge(11, 12, 0.8)
     graph.add_edge(10, 12, 0.8)
     return graph
+
+
+from graph_factories import (  # noqa: E402 (re-export for REPL convenience)
+    PATHOLOGICAL_KINDS,
+    bundled_graph,
+    pathological_graph,
+    small_er_graph,
+)
+
+# Re-exported so fixtures and ad-hoc REPL sessions can reach the shared
+# builders through the conftest they already know; test modules import them
+# from ``graph_factories`` directly (the module name ``conftest`` is claimed
+# by whichever conftest.py pytest loads first when benchmarks/ is also on
+# the path).
+__all__ = [
+    "PATHOLOGICAL_KINDS",
+    "bundled_graph",
+    "pathological_graph",
+    "small_er_graph",
+]

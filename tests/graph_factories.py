@@ -1,0 +1,77 @@
+"""Shared graph factories for the test-suite.
+
+Plain functions rather than fixtures so parametrized sweeps can call them
+with their own seeds.  The per-module copies these replace drifted apart in
+their magic numbers; new randomized tests should build graphs through these.
+
+This lives outside ``conftest.py`` because the bare module name ``conftest``
+is ambiguous at import time: pytest loads ``benchmarks/conftest.py`` too,
+and whichever is imported first claims the name in ``sys.modules``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import clique_graph
+from repro.graph.probabilistic_graph import ProbabilisticGraph
+
+
+def small_er_graph(num_vertices=12, edge_fraction=0.5, *, seed=0, probabilities=None):
+    """Seeded Erdős–Rényi test graph.
+
+    ``probabilities=(low, high)`` draws edge probabilities uniformly from
+    that interval; otherwise the generator's default model applies.
+    """
+    from repro.graph.generators import erdos_renyi_graph, uniform_probability
+
+    kwargs = {}
+    if probabilities is not None:
+        kwargs["probability_model"] = uniform_probability(*probabilities)
+    return erdos_renyi_graph(num_vertices, edge_fraction, seed=seed, **kwargs)
+
+
+def bundled_graph(name="krogan", scale="tiny"):
+    """One of the bundled dataset analogues (``repro.experiments.datasets``)."""
+    from repro.experiments.datasets import load_dataset
+
+    return load_dataset(name, scale=scale)
+
+
+#: Edge-case topologies accepted by :func:`pathological_graph`.
+PATHOLOGICAL_KINDS = (
+    "empty",
+    "isolated_vertices",
+    "single_edge",
+    "triangle_free_path",
+    "two_triangles_shared_edge",
+    "certain_five_clique",
+    "near_zero_probabilities",
+)
+
+
+def pathological_graph(kind: str) -> ProbabilisticGraph:
+    """Named boundary-condition topologies shared across the suite."""
+    graph = ProbabilisticGraph()
+    if kind == "empty":
+        return graph
+    if kind == "isolated_vertices":
+        for label in range(4):
+            graph.add_vertex(label)
+        return graph
+    if kind == "single_edge":
+        graph.add_edge(0, 1, 0.5)
+        return graph
+    if kind == "triangle_free_path":
+        for u in range(5):
+            graph.add_edge(u, u + 1, 0.9)
+        return graph
+    if kind == "two_triangles_shared_edge":
+        for u, v, p in [(0, 1, 0.9), (1, 2, 0.8), (0, 2, 0.7), (1, 3, 0.6), (2, 3, 0.5)]:
+            graph.add_edge(u, v, p)
+        return graph
+    if kind == "certain_five_clique":
+        return clique_graph(5, probability=1.0)
+    if kind == "near_zero_probabilities":
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            graph.add_edge(u, v, 1e-9)
+        return graph
+    raise ValueError(f"unknown pathological graph kind {kind!r}")

@@ -29,7 +29,8 @@ from repro.core.weak_nucleus import (
 )
 from repro.deterministic.nucleus import is_k_nucleus
 from repro.exceptions import InvalidParameterError
-from repro.graph.generators import clique_graph, erdos_renyi_graph
+from graph_factories import small_er_graph
+from repro.graph.generators import clique_graph
 from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.sampling.monte_carlo import hoeffding_error_bound
@@ -169,7 +170,7 @@ class TestRandomizedParitySweep:
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("theta", [0.05, 0.35])
     def test_local_scores_and_nuclei_exact(self, seed, theta):
-        graph = erdos_renyi_graph(26, 0.28, seed=seed)
+        graph = small_er_graph(26, 0.28, seed=seed)
         expected = local_nucleus_decomposition(graph, theta, backend="dict")
         actual = local_nucleus_decomposition(graph, theta, backend="csr")
         assert actual.scores == expected.scores
@@ -188,11 +189,7 @@ class TestRandomizedParitySweep:
         # death can *raise* the Normal estimator's κ), so the engine must
         # follow the reference loop's per-clique repair schedule exactly —
         # this sweep caught a repair-coalescing regression once.
-        from repro.graph.generators import uniform_probability
-
-        graph = erdos_renyi_graph(
-            14, 0.68, probability_model=uniform_probability(0.3, 1.0), seed=seed
-        )
+        graph = small_er_graph(14, 0.68, seed=seed, probabilities=(0.3, 1.0))
         for theta in (0.2, 0.5):
             expected = local_nucleus_decomposition(
                 graph, theta, estimator=estimator_cls(), backend="dict"
@@ -204,7 +201,7 @@ class TestRandomizedParitySweep:
 
     @pytest.mark.parametrize("seed", [3, 11])
     def test_weak_scores_within_hoeffding(self, seed):
-        graph = erdos_renyi_graph(9, 0.6, seed=seed)
+        graph = small_er_graph(9, 0.6, seed=seed)
         k, n_samples, delta = 1, 1500, 1e-4
         epsilon = hoeffding_error_bound(n_samples, delta)
         dict_scores = triangle_weak_scores(graph, k, n_samples, random.Random(seed))
@@ -217,7 +214,7 @@ class TestRandomizedParitySweep:
 
     @pytest.mark.parametrize("seed", [5, 17])
     def test_global_counts_within_hoeffding(self, seed):
-        graph = erdos_renyi_graph(8, 0.7, seed=seed)
+        graph = small_er_graph(8, 0.7, seed=seed)
         k, n_samples, delta = 1, 1500, 1e-4
         epsilon = hoeffding_error_bound(n_samples, delta)
 
@@ -252,7 +249,7 @@ class TestRandomizedParitySweep:
         # Forcing every probability to 1 collapses the sampling noise, so
         # the full Algorithm 2/3 pipelines must agree across backends even
         # though they route through different peel and sampling engines.
-        topology = erdos_renyi_graph(12, 0.55, seed=seed)
+        topology = small_er_graph(12, 0.55, seed=seed)
         graph = ProbabilisticGraph((u, v, 1.0) for u, v, _ in topology.edges())
         for decomposition in (global_nucleus_decomposition, weak_nucleus_decomposition):
             expected = decomposition(

@@ -23,7 +23,8 @@ from repro.core.support_dp import NO_VALID_K
 from repro.deterministic.kcore import core_decomposition
 from repro.deterministic.ktruss import truss_decomposition
 from repro.exceptions import InvalidParameterError
-from repro.graph.generators import clique_graph, erdos_renyi_graph
+from graph_factories import small_er_graph
+from repro.graph.generators import clique_graph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.metrics.clustering import (
     expected_triangle_count,
@@ -132,7 +133,7 @@ class TestContainmentAcrossDecompositions:
         """The paper's motivation: nucleus ⊆ truss ⊆ core at matched thresholds."""
         from repro.core.local import local_nucleus_decomposition
 
-        graph = erdos_renyi_graph(13, 0.55, seed=seed)
+        graph = small_er_graph(13, 0.55, seed=seed)
         theta = 0.2
         local = local_nucleus_decomposition(graph, theta)
         if local.max_score < 1:

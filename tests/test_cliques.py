@@ -19,7 +19,8 @@ from repro.deterministic.cliques import (
     triangle_supports,
     triangles_of_clique,
 )
-from repro.graph.generators import clique_graph, erdos_renyi_graph
+from graph_factories import small_er_graph
+from repro.graph.generators import clique_graph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
 
@@ -151,7 +152,7 @@ class TestPropertyBased:
     @given(seed=st.integers(0, 100), density=st.floats(0.1, 0.6))
     @settings(max_examples=25, deadline=None)
     def test_every_four_clique_contains_four_supported_triangles(self, seed, density):
-        graph = erdos_renyi_graph(12, density, seed=seed)
+        graph = small_er_graph(12, density, seed=seed)
         supports = triangle_supports(graph)
         for clique in enumerate_four_cliques(graph):
             for triangle in triangles_of_clique(clique):
@@ -160,7 +161,7 @@ class TestPropertyBased:
     @given(seed=st.integers(0, 100))
     @settings(max_examples=25, deadline=None)
     def test_support_sum_is_four_times_clique_count(self, seed):
-        graph = erdos_renyi_graph(12, 0.4, seed=seed)
+        graph = small_er_graph(12, 0.4, seed=seed)
         supports = triangle_supports(graph)
         cliques = list(enumerate_four_cliques(graph))
         assert sum(supports.values()) == 4 * len(cliques)

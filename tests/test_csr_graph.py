@@ -14,8 +14,8 @@ from repro.deterministic.cliques import (
 )
 from repro.exceptions import EdgeNotFoundError, VertexNotFoundError
 from repro.graph.csr import CSRProbabilisticGraph
+from graph_factories import small_er_graph
 from repro.graph.generators import (
-    erdos_renyi_graph,
     overlapping_community_graph,
     planted_nucleus_graph,
     power_law_cluster_graph,
@@ -26,7 +26,7 @@ from repro.graph.probabilistic_graph import ProbabilisticGraph
 def _random_graphs():
     """A spread of randomized topologies used by the round-trip property tests."""
     for seed in (0, 1, 7, 23):
-        yield erdos_renyi_graph(25, 0.3, seed=seed)
+        yield small_er_graph(25, 0.3, seed=seed)
     for seed in (3, 11):
         yield power_law_cluster_graph(60, attachment=3, seed=seed)
     yield planted_nucleus_graph(

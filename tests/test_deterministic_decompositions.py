@@ -25,7 +25,8 @@ from repro.deterministic.nucleus import (
     triangles_to_edge_subgraph,
 )
 from repro.exceptions import InvalidParameterError
-from repro.graph.generators import clique_graph, erdos_renyi_graph
+from graph_factories import small_er_graph
+from repro.graph.generators import clique_graph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
 
@@ -249,7 +250,7 @@ class TestHierarchyProperties:
     def test_nucleusness_bounded_by_truss_and_core(self, seed):
         """nucleus score of a triangle <= truss score of its edges <= core score of its vertices
         (up to the standard offsets), a containment the paper's Section 2 relies on."""
-        graph = erdos_renyi_graph(14, 0.45, seed=seed)
+        graph = small_er_graph(14, 0.45, seed=seed)
         nucleus = nucleus_decomposition(graph)
         truss = truss_decomposition(graph)
         core = core_decomposition(graph)
@@ -263,7 +264,7 @@ class TestHierarchyProperties:
     @given(seed=st.integers(0, 60))
     @settings(max_examples=15, deadline=None)
     def test_k_nucleus_subgraph_triangles_have_enough_support(self, seed):
-        graph = erdos_renyi_graph(13, 0.5, seed=seed)
+        graph = small_er_graph(13, 0.5, seed=seed)
         top = max_nucleus_number(graph)
         if top == 0:
             return

@@ -179,10 +179,11 @@ class TestBackendParity:
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert EXPERIMENT_NAMES == (
             "table1", "table2", "table3", "figure4", "figure5",
             "figure6", "figure7", "figure8", "ablation_hybrid", "ablation_sampling",
+            "incremental_updates",
         )
 
     def test_get_spec_unknown_name(self):

@@ -24,7 +24,8 @@ from repro.core.support_dp import NO_VALID_K
 from repro.deterministic.cliques import enumerate_triangles, four_cliques_containing_triangle
 from repro.deterministic.nucleus import nucleus_decomposition
 from repro.exceptions import InvalidParameterError
-from repro.graph.generators import clique_graph, erdos_renyi_graph
+from graph_factories import small_er_graph
+from repro.graph.generators import clique_graph
 from repro.graph.possible_worlds import enumerate_worlds
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 
@@ -116,7 +117,7 @@ class TestInitialScores:
 
     @pytest.mark.parametrize("theta", [0.05, 0.2, 0.5])
     def test_random_small_graph(self, theta):
-        graph = erdos_renyi_graph(7, 0.7, seed=3)
+        graph = small_er_graph(7, 0.7, seed=3)
         if graph.num_edges > 20:
             graph = graph.subgraph(list(graph.vertices())[:6])
         for triangle in enumerate_triangles(graph):
@@ -259,7 +260,7 @@ class TestPropertyBased:
     @given(seed=st.integers(0, 50), theta=st.floats(0.05, 0.8))
     @settings(max_examples=20, deadline=None)
     def test_scores_bounded_by_support(self, seed, theta):
-        graph = erdos_renyi_graph(12, 0.5, seed=seed)
+        graph = small_er_graph(12, 0.5, seed=seed)
         result = local_nucleus_decomposition(graph, theta)
         from repro.deterministic.cliques import triangle_supports
 
@@ -270,7 +271,7 @@ class TestPropertyBased:
     @given(seed=st.integers(0, 50))
     @settings(max_examples=15, deadline=None)
     def test_dp_and_hybrid_close_on_random_graphs(self, seed):
-        graph = erdos_renyi_graph(12, 0.5, seed=seed)
+        graph = small_er_graph(12, 0.5, seed=seed)
         dp = local_nucleus_decomposition(graph, 0.3)
         ap = local_nucleus_decomposition(graph, 0.3, estimator=HybridEstimator())
         for triangle in dp.scores:

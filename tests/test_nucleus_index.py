@@ -341,7 +341,7 @@ class TestHeader:
         index = build_local_index(planted, THETA)
         description = json.loads(json.dumps(index.describe()))
         assert description["mode"] == "local"
-        assert description["format_version"] == 1
+        assert description["format_version"] == 2
         assert description["num_triangles"] == index.num_triangles
 
     def test_repr_mentions_shape(self, planted):
