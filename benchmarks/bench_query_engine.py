@@ -111,7 +111,7 @@ def run_query_engine(
 
     # Workload 1: vertex -> max score, every vertex in one batched gather.
     engine_answer, engine_seconds = _timed(
-        lambda: engine.max_score_batch(vertices).tolist()
+        lambda: engine.max_score(vertices).tolist()
     )
     recompute_answer, recompute_seconds = _timed(
         _recompute_max_scores, graph, theta, vertices

@@ -1,0 +1,253 @@
+"""Benchmark: micro-batched query service vs serial one-query-per-call dispatch.
+
+Simulates the service's worst case — many concurrent clients each asking a
+tiny question — and measures what the micro-batching queue buys.  A fleet of
+in-process asyncio clients (1000 by default) each submits a burst of
+single-vertex ``max_score`` / ``contains`` requests through
+:meth:`repro.serve.QueryService.submit`, against two configurations of the
+*same* service stack:
+
+* **batched** — ``BatchingConfig(max_batch=256)``: concurrent requests
+  sharing an operation coalesce into one vectorized engine gather;
+* **serial** — ``BatchingConfig(max_batch=1)``: no coalescing anywhere —
+  each request flushes alone and each queried vertex is answered by its own
+  scalar engine call (one-query-per-call dispatch, the pre-batch
+  behaviour).
+
+Both sides answer from the same memory-mapped index and must return
+identical results (asserted).  Reported per configuration: wall-clock,
+throughput (QPS), and per-request latency percentiles (p50/p99) measured
+from submit to response.
+
+Results are printed as a table and written to ``BENCH_query_service.json``;
+CI's ``serving-smoke`` job uploads the report and gates with
+``--min-speedup 2``: batched throughput must be at least 2x serial.
+Standalone usage::
+
+    python benchmarks/bench_query_service.py --clients 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from repro.index import build_local_index
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.index import build_local_index
+
+from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.serve import BatchingConfig, QueryService
+
+DEFAULT_JSON = "BENCH_query_service.json"
+DEFAULT_DATASET = "krogan"
+DEFAULT_THETA = 0.3
+DEFAULT_CLIENTS = 1000
+DEFAULT_REQUESTS_PER_CLIENT = 8
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+#: Vertices per request, cycled across a client's burst: point lookups mixed
+#: with seed-set queries (score/membership of a whole candidate community).
+_REQUEST_SIZES = (1, 16, 64, 128)
+
+
+def _client_requests(client: int, vertices: list, k: int, n_requests: int) -> list[dict]:
+    """The burst one client sends: small vertex queries, mostly coalescable."""
+    requests = []
+    for i in range(n_requests):
+        size = _REQUEST_SIZES[(client + i) % len(_REQUEST_SIZES)]
+        start = client * n_requests + i
+        asked = [vertices[(start + j) % len(vertices)] for j in range(size)]
+        if i % 4 == 3:
+            requests.append({"op": "contains", "vertices": asked, "k": k})
+        else:
+            requests.append({"op": "max_score", "vertices": asked})
+    return requests
+
+
+async def _drive(service: QueryService, workload: list[list[dict]]) -> dict:
+    """Run every client's burst concurrently; collect latencies and answers."""
+    latencies: list[float] = []
+
+    async def client(requests: list[dict]) -> list:
+        results = []
+        for request in requests:
+            start = time.perf_counter()
+            response = await service.submit(dict(request))
+            latencies.append(time.perf_counter() - start)
+            assert response["ok"], response
+            results.append((request["op"], response["result"]))
+        return results
+
+    wall_start = time.perf_counter()
+    answers = await asyncio.gather(*[client(requests) for requests in workload])
+    wall_seconds = time.perf_counter() - wall_start
+
+    latencies.sort()
+    total = len(latencies)
+    return {
+        "requests": total,
+        "wall_seconds": wall_seconds,
+        "qps": total / wall_seconds,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "batching": service.batcher.stats(),
+        "answers": answers,
+    }
+
+
+def run_query_service(
+    dataset: str = DEFAULT_DATASET,
+    scale: str = "tiny",
+    theta: float = DEFAULT_THETA,
+    clients: int = DEFAULT_CLIENTS,
+    requests_per_client: int = DEFAULT_REQUESTS_PER_CLIENT,
+    max_batch: int = 256,
+    linger_ms: float = 2.0,
+) -> dict:
+    """Time the client fleet against both configurations; return the report."""
+    graph = load_dataset(dataset, scale=scale)
+    index = build_local_index(graph, theta)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.idx.npz"
+        index.save(path, compress=False)
+
+        k = max(index.levels, default=0)
+        vertices = index.vertex_labels
+        workload = [
+            _client_requests(c, vertices, k, requests_per_client)
+            for c in range(clients)
+        ]
+
+        configs = {
+            "batched": BatchingConfig(max_batch=max_batch, max_linger=linger_ms / 1000.0),
+            "serial": BatchingConfig(max_batch=1),
+        }
+        sides = {}
+        for name, config in configs.items():
+            service = QueryService(path, batching=config, mmap=True)
+            assert service.index.mmapped
+            sides[name] = asyncio.run(_drive(service, workload))
+
+    # Identical workload, identical index: both sides must agree everywhere.
+    assert sides["batched"].pop("answers") == sides["serial"].pop("answers")
+
+    return {
+        "benchmark": "query_service",
+        "dataset": dataset,
+        "scale": scale,
+        "theta": theta,
+        "k": k,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "sides": sides,
+        "summary": {
+            "speedup": sides["batched"]["qps"] / sides["serial"]["qps"],
+            "batched_qps": sides["batched"]["qps"],
+            "serial_qps": sides["serial"]["qps"],
+            "batched_p99_ms": sides["batched"]["p99_ms"],
+            "serial_p99_ms": sides["serial"]["p99_ms"],
+        },
+    }
+
+
+def format_query_service(report: dict) -> str:
+    lines = [
+        f"dataset={report['dataset']} scale={report['scale']} "
+        f"theta={report['theta']} k={report['k']} "
+        f"clients={report['clients']} x{report['requests_per_client']} requests",
+        f"{'side':<10} {'requests':>9} {'wall (s)':>9} {'qps':>10} "
+        f"{'p50 (ms)':>9} {'p99 (ms)':>9} {'batches':>8} {'largest':>8}",
+        "-" * 79,
+    ]
+    for name in ("batched", "serial"):
+        side = report["sides"][name]
+        lines.append(
+            f"{name:<10} {side['requests']:>9} {side['wall_seconds']:>9.3f} "
+            f"{side['qps']:>10.0f} {side['p50_ms']:>9.3f} {side['p99_ms']:>9.3f} "
+            f"{side['batching']['batches_flushed']:>8} "
+            f"{side['batching']['largest_batch']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def test_query_service(benchmark, bench_scale, tmp_path):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_query_service, scale=bench_scale)
+    (tmp_path / DEFAULT_JSON).write_text(json.dumps(report, indent=2))
+    # The acceptance headline: coalescing beats serial dispatch by 2x.
+    assert report["summary"]["speedup"] >= 2.0
+    print()
+    print(format_query_service(report))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default=DEFAULT_DATASET)
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--theta", type=float, default=DEFAULT_THETA)
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument(
+        "--requests-per-client", type=int, default=DEFAULT_REQUESTS_PER_CLIENT
+    )
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--linger-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--json", default=DEFAULT_JSON, metavar="PATH",
+        help=f"write the machine-readable report here (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless batched throughput is at least X times "
+             "serial throughput (CI acceptance gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_query_service(
+        dataset=args.dataset,
+        scale=args.scale,
+        theta=args.theta,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+    )
+    Path(args.json).write_text(json.dumps(report, indent=2))
+    print(format_query_service(report))
+    summary = report["summary"]
+    print(
+        f"\nbatched {summary['batched_qps']:.0f} qps vs serial "
+        f"{summary['serial_qps']:.0f} qps -> {summary['speedup']:.1f}x · "
+        f"report -> {args.json}"
+    )
+
+    if args.min_speedup is not None and summary["speedup"] < args.min_speedup:
+        print(
+            f"GATE FAILURE: batched/serial speedup {summary['speedup']:.2f}x is "
+            f"below the required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

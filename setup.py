@@ -47,6 +47,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-index=repro.cli:main",
+            "repro-serve=repro.serve.cli:main",
         ],
     },
     classifiers=[

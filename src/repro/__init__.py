@@ -3,34 +3,44 @@
 A reproduction of *"Nucleus Decomposition in Probabilistic Graphs: Hardness
 and Algorithms"* (Esfahani, Srinivasan, Thomo, Wu — ICDE 2022).
 
-The package is organised as:
+Stable public API
+-----------------
+The supported, stability-guaranteed surface is this module's ``__all__``:
+the five facade entry points —
 
-* :mod:`repro.graph` — probabilistic graph substrate (data structure, I/O,
-  synthetic generators, possible-world semantics).
-* :mod:`repro.deterministic` — deterministic cliques, k-core, k-truss, and
-  (3,4)-nucleus machinery.
-* :mod:`repro.core` — the paper's contribution: local (ℓ), global (g), and
-  weakly-global (w) probabilistic nucleus decomposition, the exact DP support
-  oracle, and the §5.3 statistical approximations.
-* :mod:`repro.baselines` — probabilistic (k, η)-core and (k, γ)-truss.
-* :mod:`repro.sampling` — Monte-Carlo estimation and network reliability.
-* :mod:`repro.hardness` — executable versions of the hardness reductions.
-* :mod:`repro.metrics` — probabilistic density and clustering coefficient.
-* :mod:`repro.index` / :mod:`repro.query` — the serve-time subsystem:
-  persistent nucleus indexes (``build_index`` → ``save``/``load``) and the
-  community-search query engine answering from them.
-* :mod:`repro.experiments` — the harness that regenerates every table and
-  figure of the paper's evaluation.
+* :func:`repro.decompose` — run a local / global / weakly-global nucleus
+  decomposition on a probabilistic graph.
+* :func:`repro.build_index` — persist a decomposition as a
+  :class:`~repro.index.NucleusIndex` (``index.save(path)`` → one ``.npz``).
+* :func:`repro.load_index` — load a saved index, optionally memory-mapped
+  (``mmap=True``) so N processes serving the same index share pages.
+* ``repro.query(target, op, **params)`` — one-shot query against an index,
+  engine, service, or saved-index path.
+* ``repro.serve(index, **kwargs)`` — a
+  :class:`~repro.serve.QueryService`: micro-batched, hot-reloadable
+  query serving (see :mod:`repro.serve` and ``repro-serve``).
+
+— plus the graph substrate, decomposition entry points, estimators, and
+baselines re-exported below.  Everything else (submodule internals) may
+change between minor versions; ``__api_version__`` names the facade
+contract and only changes when that surface breaks.
 
 Quickstart
 ----------
->>> from repro import ProbabilisticGraph, local_nucleus_decomposition
+>>> from repro import ProbabilisticGraph, decompose
 >>> g = ProbabilisticGraph()
 >>> for u, v in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]:
 ...     g.add_edge(u, v, 0.9)
->>> result = local_nucleus_decomposition(g, theta=0.4)
+>>> result = decompose(g, mode="local", theta=0.4)
 >>> result.max_score
 1
+
+Index the result once, then answer community-search queries in microseconds:
+
+>>> import repro
+>>> index = repro.build_index(g, mode="local", theta=0.4)
+>>> repro.query(index, "max_score", vertices=[0, 1])
+[1, 1]
 """
 
 from repro.baselines import (
@@ -51,6 +61,7 @@ from repro.core import (
     local_nucleus_decomposition,
     weak_nucleus_decomposition,
 )
+from repro.exceptions import InvalidParameterError, ReproError
 from repro.graph import (
     CSRProbabilisticGraph,
     ProbabilisticGraph,
@@ -66,21 +77,77 @@ from repro.metrics import (
 )
 from repro.query import NucleusQueryEngine
 
-__version__ = "1.0.0"
+# Imported for their side effects on the facade: ``repro.query`` and
+# ``repro.serve`` are callable modules (``repro.query(...)`` runs a one-shot
+# query, ``repro.serve(...)`` constructs a QueryService).
+import repro.query  # noqa: E402
+import repro.serve  # noqa: E402
+
+__version__ = "1.1.0"
+
+#: Version of the *facade contract* (the names in ``__all__`` and their
+#: signatures).  Bumped only on breaking changes to that surface; additions
+#: and internal refactors leave it untouched.
+__api_version__ = "1"
+
+
+def decompose(
+    graph: ProbabilisticGraph | CSRProbabilisticGraph,
+    mode: str = "local",
+    theta: float = 0.3,
+    k: int | None = None,
+    **kwargs,
+):
+    """Run a probabilistic nucleus decomposition (the facade entry point).
+
+    ``mode="local"`` runs the ℓ-decomposition over every level and returns a
+    :class:`LocalNucleusDecomposition`; ``"global"`` and ``"weak"`` (alias
+    ``"weakly-global"``) require an explicit level ``k`` and return the list
+    of :class:`ProbabilisticNucleus` at that level.  Remaining keyword
+    arguments are forwarded to the underlying entry point
+    (:func:`local_nucleus_decomposition`,
+    :func:`global_nucleus_decomposition`,
+    :func:`weak_nucleus_decomposition`).
+    """
+    if mode == "local":
+        return local_nucleus_decomposition(graph, theta, **kwargs)
+    if mode in ("global", "weak", "weakly-global"):
+        if k is None:
+            raise InvalidParameterError(f"mode {mode!r} requires an explicit k")
+        runner = (
+            global_nucleus_decomposition
+            if mode == "global"
+            else weak_nucleus_decomposition
+        )
+        return runner(graph, k, theta, **kwargs)
+    raise InvalidParameterError(
+        f'mode must be "local", "global" or "weak", got {mode!r}'
+    )
+
 
 __all__ = [
+    "__api_version__",
     "__version__",
+    # facade
+    "decompose",
+    "build_index",
+    "load_index",
+    "query",
+    "serve",
+    # graph substrate
     "ProbabilisticGraph",
     "CSRProbabilisticGraph",
     "graph_statistics",
     "read_edge_list",
     "write_edge_list",
     "sample_world",
+    # decomposition entry points and results
     "local_nucleus_decomposition",
     "global_nucleus_decomposition",
     "weak_nucleus_decomposition",
     "LocalNucleusDecomposition",
     "ProbabilisticNucleus",
+    # estimators
     "DynamicProgrammingEstimator",
     "PoissonEstimator",
     "TranslatedPoissonEstimator",
@@ -88,13 +155,16 @@ __all__ = [
     "BinomialEstimator",
     "HybridEstimator",
     "HybridParameters",
+    # baselines and metrics
     "probabilistic_core_decomposition",
     "probabilistic_truss_decomposition",
     "probabilistic_density",
     "probabilistic_clustering_coefficient",
+    # serve-time subsystem
     "NucleusIndex",
     "NucleusQueryEngine",
-    "build_index",
-    "load_index",
     "graph_fingerprint",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
 ]

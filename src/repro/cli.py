@@ -52,6 +52,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Monte-Carlo world count (default: Hoeffding bound)",
     )
+    build.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="write an uncompressed archive (memory-mappable by repro-serve)",
+    )
 
     info = sub.add_parser("info", help="print the header of an index")
     info.add_argument("index", help="index file")
@@ -81,7 +86,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.mode in ("global", "weak"):
         kwargs.update(seed=args.seed, n_samples=args.n_samples)
     index = build_index(graph, mode=args.mode, theta=args.theta, k=args.k, **kwargs)
-    index.save(args.output)
+    index.save(args.output, compress=not args.no_compress)
     print(
         f"indexed {index.num_vertices} vertices / {index.num_edges} edges / "
         f"{index.num_triangles} triangles -> {args.output} "
@@ -123,7 +128,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     engine = NucleusQueryEngine(NucleusIndex.load(args.index))
     if args.operation == "max-score":
         labels = [parse_vertex(token) for token in args.vertices]
-        for label, score in zip(labels, engine.max_score_batch(labels).tolist()):
+        for label, score in zip(labels, engine.max_score(labels).tolist()):
             print(f"{label}\t{score}")
     elif args.operation == "nucleus":
         seeds = [parse_vertex(token) for token in args.seeds]
@@ -151,8 +156,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "info":
             return _cmd_info(args)
         return _cmd_query(args)
-    except ReproError as exc:
-        print(f"repro-index: error: {exc}", file=sys.stderr)
+    except (ReproError, OSError) as exc:
+        # One typed line on stderr, exit 2: scripts can match on the error
+        # class without parsing tracebacks.
+        message = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        print(f"repro-index: error: {type(exc).__name__}: {message}", file=sys.stderr)
         return 2
 
 

@@ -37,6 +37,13 @@ Indexes are *immutable snapshots*: build once with
 :func:`repro.index.builders.build_index` (or the ``from_*`` constructors
 below), ``save()``, and serve arbitrarily many queries from ``load()``-ed
 copies in other processes.
+
+Serving deployments load with ``mmap=True``: when the archive was written
+with ``save(..., compress=False)`` every array entry is *stored* (not
+deflated) inside the zip, so each one can be memory-mapped directly at its
+offset in the file.  N worker processes mapping the same index then share
+one set of physical pages instead of N eager copies (see
+``docs/SERVING.md``).  Compressed archives fall back to an eager load.
 """
 
 from __future__ import annotations
@@ -94,10 +101,68 @@ _ARRAY_SPECS: dict[str, str] = {
 
 _MODES = ("local", "global", "weakly-global")
 
+#: npy header readers by format version (``.npz`` members are plain npy files).
+_NPY_HEADER_READERS = {
+    (1, 0): np.lib.format.read_array_header_1_0,
+    (2, 0): np.lib.format.read_array_header_2_0,
+}
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise IndexFormatError(message)
+
+
+def _mmap_npz_arrays(path: Path, names) -> dict[str, np.ndarray] | None:
+    """Memory-map the named array members of an *uncompressed* ``.npz``.
+
+    A ``.npz`` is a zip archive of ``<name>.npy`` members; when a member is
+    *stored* (``save(..., compress=False)``) its npy payload sits verbatim at
+    a fixed offset in the file, so the array data can be mapped read-only
+    with :class:`numpy.memmap` — no bytes are read eagerly and every process
+    mapping the same file shares one set of pages.  Returns ``None`` when
+    any requested member is deflated or uses an npy version without a public
+    header reader, in which case the caller falls back to an eager load.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        members = {info.filename: info for info in archive.infolist()}
+        with open(path, "rb") as handle:
+            for name in names:
+                info = members.get(name + ".npy")
+                if info is None or info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                # The local file header (30 bytes + filename + extra field)
+                # must be read from the file itself: its extra field can
+                # differ from the central directory's.
+                handle.seek(info.header_offset)
+                local_header = handle.read(30)
+                _require(
+                    local_header[:4] == b"PK\x03\x04",
+                    f"{path} member {name!r} has a corrupted local zip header",
+                )
+                payload_offset = (
+                    info.header_offset
+                    + 30
+                    + int.from_bytes(local_header[26:28], "little")
+                    + int.from_bytes(local_header[28:30], "little")
+                )
+                handle.seek(payload_offset)
+                read_header = _NPY_HEADER_READERS.get(np.lib.format.read_magic(handle))
+                if read_header is None:
+                    return None
+                shape, fortran_order, dtype = read_header(handle)
+                if dtype.hasobject:
+                    return None
+                arrays[name] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=handle.tell(),
+                    shape=shape,
+                    order="F" if fortran_order else "C",
+                )
+    return arrays
 
 
 def _json_safe_labels(labels: list) -> list:
@@ -181,6 +246,9 @@ class NucleusIndex:
         }
         self._validate_shapes()
         self._graph_cache: ProbabilisticGraph | None = None
+        #: ``True`` when the arrays are memory-mapped views of an on-disk
+        #: archive (``load(..., mmap=True)`` on an uncompressed save).
+        self.mmapped = False
 
     def _validate_shapes(self) -> None:
         a = self.arrays
@@ -702,13 +770,18 @@ class NucleusIndex:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> Path:
-        """Write the index to ``path`` as a single compressed ``.npz`` archive.
+    def save(self, path: str | Path, *, compress: bool = True) -> Path:
+        """Write the index to ``path`` as a single ``.npz`` archive.
 
         The write is lossless: :meth:`load` reconstructs a bit-identical
         index (same header, same array contents and dtypes).  numpy appends
         ``.npz`` to suffix-less paths, so the path is normalised first and
         the returned path always names the file actually written.
+
+        ``compress=False`` stores the array members verbatim instead of
+        deflating them, which makes the archive memory-mappable
+        (``load(..., mmap=True)``) — the layout serving deployments want,
+        trading disk size for zero-copy page sharing across workers.
         """
         path = Path(path)
         if path.suffix != ".npz":
@@ -719,7 +792,8 @@ class NucleusIndex:
             raise IndexFormatError(f"index header is not JSON-serialisable: {exc}") from exc
         payload = {_HEADER_KEY: np.array(header_json)}
         payload.update(self.arrays)
-        np.savez_compressed(path, **payload)
+        writer = np.savez_compressed if compress else np.savez
+        writer(path, **payload)
         return path
 
     @classmethod
@@ -727,6 +801,8 @@ class NucleusIndex:
         cls,
         path: str | Path,
         graph: ProbabilisticGraph | CSRProbabilisticGraph | None = None,
+        *,
+        mmap: bool = False,
     ) -> "NucleusIndex":
         """Read an index previously written by :meth:`save`.
 
@@ -738,6 +814,13 @@ class NucleusIndex:
             When given, the loaded fingerprint is checked against this live
             graph and :class:`IndexCompatibilityError` is raised on mismatch,
             so stale indexes cannot silently serve queries.
+        mmap:
+            Map the array entries read-only straight out of the archive
+            instead of copying them into memory.  Requires an archive
+            written with ``save(..., compress=False)``; compressed archives
+            silently fall back to the eager load (check :attr:`mmapped` on
+            the result).  Mapped indexes answer identically to eager ones —
+            the pages are just demand-loaded and shared across processes.
 
         Raises
         ------
@@ -758,17 +841,23 @@ class NucleusIndex:
                     header = json.loads(header_json)
                 except json.JSONDecodeError as exc:
                     raise IndexFormatError(f"{path} has a corrupted header: {exc}") from exc
-                try:
-                    arrays = {name: data[name] for name in _ARRAY_SPECS}
-                except KeyError as exc:
+                missing = [name for name in _ARRAY_SPECS if name not in data.files]
+                if missing:
                     raise IndexFormatError(
-                        f"{path} is missing array entry {exc.args[0]!r}"
-                    ) from None
+                        f"{path} is missing array entry {missing[0]!r}"
+                    )
+                arrays = None
+                if mmap:
+                    arrays = _mmap_npz_arrays(path, _ARRAY_SPECS)
+                mmapped = arrays is not None
+                if arrays is None:
+                    arrays = {name: data[name] for name in _ARRAY_SPECS}
         except IndexFormatError:
             raise
-        except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile) as exc:
             raise IndexFormatError(f"{path} is not a readable index file: {exc}") from exc
         index = cls(header, arrays)
+        index.mmapped = mmapped
         if graph is not None:
             index.verify_against(graph)
         return index

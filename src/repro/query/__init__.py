@@ -2,18 +2,60 @@
 
 Pairs with :mod:`repro.index`: load a persisted :class:`~repro.index.NucleusIndex`
 and answer community-search queries — vertex max-score, seed-based nucleus
-membership, top-k nuclei — in microseconds, with batched variants and an LRU
-result cache.
+membership, top-k nuclei — in microseconds, with an LRU result cache.
+
+The module itself is callable as the one-shot facade: ``repro.query(target,
+op, **params)`` runs one protocol operation (see
+:mod:`repro.serve.protocol`) against a query engine, an index, a running
+:class:`~repro.serve.QueryService`, or a saved-index path.
 
 >>> from repro.graph.generators import clique_graph
 >>> from repro.index import build_index
->>> from repro.query import NucleusQueryEngine
->>> engine = NucleusQueryEngine(build_index(clique_graph(5), mode="local", theta=0.5))
->>> engine.max_score(0)
+>>> import repro.query
+>>> index = build_index(clique_graph(5), mode="local", theta=0.5)
+>>> NucleusQueryEngine(index).max_score(0)
 2
+>>> repro.query(index, "max_score", vertices=[0, 1])
+[2, 2]
 """
+
+from __future__ import annotations
+
+import sys
+import types
 
 from repro.query.cache import LRUCache
 from repro.query.engine import RANK_KEYS, NucleusQueryEngine
 
 __all__ = ["NucleusQueryEngine", "LRUCache", "RANK_KEYS"]
+
+
+class _CallableQueryModule(types.ModuleType):
+    """Make ``repro.query(target, op, **params)`` run one protocol operation.
+
+    ``repro.query`` stays a normal package; calling it validates ``params``
+    like a server request and executes it against ``target``'s engine.
+    """
+
+    def __call__(self, target, op: str, **params):
+        # Imported lazily: repro.serve.protocol imports this package.
+        from pathlib import Path  # noqa: PLC0415
+
+        from repro.exceptions import InvalidParameterError  # noqa: PLC0415
+        from repro.index.nucleus_index import NucleusIndex  # noqa: PLC0415
+        from repro.serve.protocol import execute  # noqa: PLC0415
+
+        engine = getattr(target, "engine", target)  # unwrap a QueryService
+        if isinstance(engine, NucleusIndex):
+            engine = NucleusQueryEngine(engine)
+        elif isinstance(engine, (str, Path)):
+            engine = NucleusQueryEngine(NucleusIndex.load(engine, mmap=True))
+        elif not isinstance(engine, NucleusQueryEngine):
+            raise InvalidParameterError(
+                "query target must be a NucleusQueryEngine, NucleusIndex, "
+                f"QueryService or saved-index path, got {type(target).__name__}"
+            )
+        return execute(engine, {"op": op, **params})
+
+
+sys.modules[__name__].__class__ = _CallableQueryModule

@@ -4,8 +4,9 @@ The engine answers the paper's community-search questions — what is this
 vertex's maximum nucleus score, which nucleus contains these seed vertices,
 which nuclei are the densest / most reliable — without ever re-running a
 decomposition: every answer is a gather over the index's flat arrays.  Each
-scalar query has a batched variant that answers thousands of queries in one
-numpy pass, and the scalar paths are fronted by an
+vertex-addressed query accepts either a single vertex label (returning a
+scalar) or an iterable of labels (returning a matching numpy array in one
+vectorized pass), and the scalar paths are fronted by an
 :class:`~repro.query.cache.LRUCache` keyed by ``(cache_key, query)`` so hot
 queries never recompute.  The cache key is the index's *versioned*
 fingerprint (:attr:`~repro.index.NucleusIndex.cache_key`), so after
@@ -25,6 +26,8 @@ decomposition and inspecting its result objects would return (pinned by
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -46,11 +49,59 @@ __all__ = ["NucleusQueryEngine", "RANK_KEYS"]
 RANK_KEYS = ("density", "score", "reliability", "size")
 
 
+def _is_single_vertex(value) -> bool:
+    """True when ``value`` is one vertex label rather than an iterable of labels.
+
+    Vertex labels are ``int`` or ``str`` (the only kinds an index snapshots
+    losslessly), so anything else iterable is a batch.
+    """
+    return isinstance(value, (str, int)) or not hasattr(value, "__iter__")
+
+
+def _labels_are_identity(labels: list) -> bool:
+    """Whether ``labels[i] == i`` for every i (ints 0..n-1, the common case)."""
+    try:
+        ids = np.asarray(labels)
+    except (ValueError, TypeError):  # pragma: no cover - exotic label objects
+        return False
+    return (
+        ids.ndim == 1
+        and ids.dtype.kind in "iu"
+        and bool((ids == np.arange(len(labels))).all())
+    )
+
+
 def _seed_tuple(seeds) -> tuple:
     """Normalise a seed argument (one label or an iterable of labels) to a tuple."""
-    if isinstance(seeds, (str, int)) or not hasattr(seeds, "__iter__"):
+    if _is_single_vertex(seeds):
         return (seeds,)
     return tuple(seeds)
+
+
+def _deprecated_batch_alias(name: str, replacement: str):
+    """A thin ``*_batch`` shim that warns and forwards to the unified method.
+
+    The unified methods accept scalar-or-array input directly; the old batch
+    names survive one deprecation cycle so existing callers keep working.
+    The forwarded argument is listified, so the alias always returns an
+    array exactly like the original batch method did.
+    """
+
+    def alias(self, vertices, *args, **kwargs):
+        warnings.warn(
+            f"NucleusQueryEngine.{name}() is deprecated; call "
+            f"NucleusQueryEngine.{replacement}() with an iterable of vertices instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, replacement)(list(vertices), *args, **kwargs)
+
+    alias.__name__ = name
+    alias.__qualname__ = f"NucleusQueryEngine.{name}"
+    alias.__doc__ = (
+        f"Deprecated alias of :meth:`{replacement}` (always returns an array)."
+    )
+    return alias
 
 
 class NucleusQueryEngine:
@@ -79,6 +130,7 @@ class NucleusQueryEngine:
         self.index = index
         self.cache = LRUCache(cache_size)
         self._id_of = {label: i for i, label in enumerate(index.vertex_labels)}
+        self._identity_labels = _labels_are_identity(index.vertex_labels)
         # Lazily-built per-level structures and materialised nuclei.
         self._level_masks: dict[int, np.ndarray] = {}
         self._level_smallest: dict[int, np.ndarray] = {}
@@ -107,6 +159,7 @@ class NucleusQueryEngine:
             index.verify_against(graph)
         self.index = index
         self._id_of = {label: i for i, label in enumerate(index.vertex_labels)}
+        self._identity_labels = _labels_are_identity(index.vertex_labels)
         self._level_masks = {}
         self._level_smallest = {}
         self._comp_vertices = {}
@@ -124,6 +177,16 @@ class NucleusQueryEngine:
 
     def _vertex_ids(self, labels) -> np.ndarray:
         labels = list(labels)
+        if self._identity_labels and labels:
+            # Labels are exactly 0..n-1: skip the per-label dict walk and
+            # translate the whole batch with one asarray + bounds check.
+            ids = np.asarray(labels)
+            if ids.dtype.kind in "iu" and ids.ndim == 1:
+                n = self.index.num_vertices
+                if 0 <= ids.min() and ids.max() < n:
+                    return ids.astype(np.int64, copy=False)
+            # Fall through for unknown / non-integer labels so the offending
+            # label raises the usual VertexNotFoundError.
         ids = np.fromiter(
             (self._vertex_id(label) for label in labels), dtype=np.int64, count=len(labels)
         )
@@ -179,35 +242,36 @@ class NucleusQueryEngine:
     # ------------------------------------------------------------------ #
     # vertex → max score
     # ------------------------------------------------------------------ #
-    def max_score(self, vertex: Vertex) -> int:
-        """Return the maximum nucleus score over the triangles containing ``vertex``.
+    def max_score(self, vertices) -> int | np.ndarray:
+        """Maximum nucleus score over the triangles containing each vertex.
 
-        ``-1`` means the vertex lies in no scored triangle (it belongs to no
-        nucleus at any level).  Unknown vertices raise
-        :class:`~repro.exceptions.VertexNotFoundError`.
+        Accepts one vertex label (returns an ``int``, LRU-cached) or an
+        iterable of labels (returns a parallel ``int64`` array computed in
+        one vectorized gather).  ``-1`` means the vertex lies in no scored
+        triangle (it belongs to no nucleus at any level).  Unknown vertices
+        raise :class:`~repro.exceptions.VertexNotFoundError`.
         """
-        key = (self.index.cache_key, "max_score", vertex)
+        if not _is_single_vertex(vertices):
+            return self.index.arrays["vertex_max_score"][self._vertex_ids(vertices)]
+        key = (self.index.cache_key, "max_score", vertices)
         cached = self.cache.get(key)
         if cached is None:
-            cached = int(self.index.arrays["vertex_max_score"][self._vertex_id(vertex)])
+            cached = int(self.index.arrays["vertex_max_score"][self._vertex_id(vertices)])
             self.cache.put(key, cached)
         return cached
-
-    def max_score_batch(self, vertices) -> np.ndarray:
-        """Vectorized :meth:`max_score`: one gather for any number of vertices."""
-        return self.index.arrays["vertex_max_score"][self._vertex_ids(vertices)]
 
     # ------------------------------------------------------------------ #
     # membership / community search
     # ------------------------------------------------------------------ #
-    def contains(self, vertex: Vertex, k: int) -> bool:
-        """Return ``True`` when ``vertex`` belongs to some indexed nucleus at level ``k``."""
-        mask, _ = self._level_structures(self._check_level(k))
-        return bool(mask[self._vertex_id(vertex)])
+    def contains(self, vertices, k: int) -> bool | np.ndarray:
+        """Whether each vertex belongs to some indexed nucleus at level ``k``.
 
-    def contains_batch(self, vertices, k: int) -> np.ndarray:
-        """Vectorized :meth:`contains` over an iterable of vertices."""
+        One label returns a ``bool``; an iterable of labels returns a
+        parallel boolean array from a single mask gather.
+        """
         mask, _ = self._level_structures(self._check_level(k))
+        if _is_single_vertex(vertices):
+            return bool(mask[self._vertex_id(vertices)])
         return mask[self._vertex_ids(vertices)]
 
     def nuclei(self, k: int) -> list[ProbabilisticNucleus]:
@@ -259,16 +323,27 @@ class NucleusQueryEngine:
         self.cache.put(key, nucleus)
         return nucleus
 
-    def smallest_nucleus_batch(self, vertices, k: int) -> np.ndarray:
-        """Vectorized single-seed :meth:`nucleus_of`: one gather per batch.
+    def smallest_nucleus(self, vertices, k: int) -> int | np.ndarray:
+        """Single-seed :meth:`nucleus_of` by component id: one gather per call.
 
         Returns, for each vertex, the index-wide component id of the smallest
         nucleus at level ``k`` containing it (``-1`` when it belongs to
-        none).  Materialise a component id with
+        none) — an ``int`` for one label, a parallel ``int64`` array for an
+        iterable.  Materialise a component id with
         ``engine.index.component_nucleus(component)``.
         """
         _, smallest = self._level_structures(self._check_level(k))
+        if _is_single_vertex(vertices):
+            return int(smallest[self._vertex_id(vertices)])
         return smallest[self._vertex_ids(vertices)]
+
+    # Deprecated scalar/batch split (PR 3); the unified methods above accept
+    # scalar-or-array input and return a matching shape.
+    max_score_batch = _deprecated_batch_alias("max_score_batch", "max_score")
+    contains_batch = _deprecated_batch_alias("contains_batch", "contains")
+    smallest_nucleus_batch = _deprecated_batch_alias(
+        "smallest_nucleus_batch", "smallest_nucleus"
+    )
 
     # ------------------------------------------------------------------ #
     # top-k nuclei

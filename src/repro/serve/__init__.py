@@ -1,0 +1,66 @@
+"""Nucleus-as-a-service: serve decomposition queries from saved indexes.
+
+The package layers four pieces (each usable on its own):
+
+* :mod:`repro.serve.protocol` — the JSON-lines wire protocol: request
+  validation, the operation table, typed-error payloads.
+* :mod:`repro.serve.batching` — the micro-batching queue that coalesces
+  concurrent requests into vectorized engine calls.
+* :mod:`repro.serve.service` — :class:`QueryService`: engine + batching +
+  lineage-validated hot reload.
+* :mod:`repro.serve.server` — the asyncio TCP front end and the optional
+  FastAPI adapter; :mod:`repro.serve.cli` is the ``repro-serve`` command.
+
+The module itself is callable as the one-line entry point::
+
+    service = repro.serve("out/flickr.npz")        # mmap-loaded QueryService
+    result = asyncio.run(service.call("max_score", vertices=[0, 1, 2]))
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+from repro.serve.batching import BatchingConfig, MicroBatcher
+from repro.serve.protocol import (
+    MalformedRequestError,
+    decode_request,
+    encode_response,
+    execute,
+)
+from repro.serve.server import (
+    create_fastapi_app,
+    create_server,
+    fastapi_available,
+    run_server,
+)
+from repro.serve.service import QueryService
+
+__all__ = [
+    "BatchingConfig",
+    "MalformedRequestError",
+    "MicroBatcher",
+    "QueryService",
+    "create_fastapi_app",
+    "create_server",
+    "decode_request",
+    "encode_response",
+    "execute",
+    "fastapi_available",
+    "run_server",
+]
+
+
+class _CallableServeModule(types.ModuleType):
+    """Make ``repro.serve(...)`` construct a :class:`QueryService`.
+
+    ``repro.serve`` stays a normal package (submodules import fine); calling
+    it is sugar for ``QueryService(index, **kwargs)``.
+    """
+
+    def __call__(self, index, **kwargs) -> QueryService:
+        return QueryService(index, **kwargs)
+
+
+sys.modules[__name__].__class__ = _CallableServeModule

@@ -1,0 +1,164 @@
+"""Micro-batching queue: coalesce concurrent requests into vectorized calls.
+
+Thousands of clients asking ``max_score`` for one vertex each is the worst
+case for the query engine (per-call Python overhead) and the best case for
+its array surface (one gather answers them all).  The
+:class:`MicroBatcher` sits between the two: requests sharing a *batch key*
+(operation + level) accumulate in a bucket which is flushed as **one**
+engine call when either
+
+* the bucket reaches ``max_batch`` entries, or
+* ``max_linger`` seconds pass since the bucket's first entry (latency cap).
+
+A flush runs synchronously on the event loop — it never awaits — so every
+request in a flush is answered by the *same* engine snapshot: a hot reload
+(:meth:`repro.serve.service.QueryService.refresh`) can only happen between
+flushes, never inside one.  That single property is what makes reloads
+torn-read-free without any locking.
+
+If a coalesced call fails (one bad vertex poisons a shared gather), the
+flush falls back to per-request execution so every other request in the
+bucket still gets its answer and only the offender receives the error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import InvalidParameterError, ReproError
+
+__all__ = ["BatchingConfig", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Knobs of the micro-batching queue.
+
+    ``max_batch`` bounds how many requests one flush may coalesce;
+    ``max_linger`` bounds how long the first request of a bucket may wait
+    for company (seconds).  ``max_batch=1`` disables coalescing — every
+    request becomes its own engine call (the serial-dispatch baseline the
+    service benchmark compares against).
+    """
+
+    max_batch: int = 256
+    max_linger: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise InvalidParameterError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_linger < 0:
+            raise InvalidParameterError(
+                f"max_linger must be >= 0, got {self.max_linger}"
+            )
+
+
+@dataclass
+class _Bucket:
+    entries: list[tuple[dict, asyncio.Future]] = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Coalesce keyed requests into batched calls (see module docstring).
+
+    ``run_many(key, batch_params)`` answers a whole bucket in one call;
+    ``run_one(key, params)`` is the per-request fallback used when a
+    coalesced call raises.  Both execute synchronously and receive the
+    bucket's key; the results future resolves to whatever ``run_many``
+    produced for that request's slot.
+    """
+
+    def __init__(
+        self,
+        run_many: Callable[[tuple, list[dict]], list[Any]],
+        run_one: Callable[[tuple, dict], Any],
+        config: BatchingConfig | None = None,
+    ) -> None:
+        self.config = config or BatchingConfig()
+        self._run_many = run_many
+        self._run_one = run_one
+        self._buckets: dict[tuple, _Bucket] = {}
+        self.batches_flushed = 0
+        self.requests_batched = 0
+        self.largest_batch = 0
+        self.fallback_batches = 0
+
+    def pending(self) -> int:
+        """Number of queued requests not yet flushed."""
+        return sum(len(bucket.entries) for bucket in self._buckets.values())
+
+    async def submit(self, key: tuple, params: dict) -> Any:
+        """Queue one request under ``key`` and await its slot of the flush."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+        bucket.entries.append((params, future))
+        if len(bucket.entries) >= self.config.max_batch:
+            self._flush(key)
+        elif bucket.timer is None:
+            bucket.timer = loop.call_later(
+                self.config.max_linger, self._flush, key
+            )
+        return await future
+
+    def flush_all(self) -> None:
+        """Flush every bucket now (used on shutdown so no request hangs)."""
+        for key in list(self._buckets):
+            self._flush(key)
+
+    def _flush(self, key: tuple) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        entries = [(params, fut) for params, fut in bucket.entries if not fut.done()]
+        if not entries:
+            return
+        self.batches_flushed += 1
+        self.requests_batched += len(entries)
+        self.largest_batch = max(self.largest_batch, len(entries))
+        if len(entries) == 1:
+            # Nothing to coalesce: dispatch the lone request directly (with
+            # ``max_batch=1`` this is every request — serial one-query-per-
+            # call dispatch, the baseline configuration).
+            params, future = entries[0]
+            try:
+                future.set_result(self._run_one(key, params))
+            except ReproError as exc:
+                future.set_exception(exc)
+            return
+        try:
+            results = self._run_many(key, [params for params, _ in entries])
+        except ReproError:
+            # One poisoned request (e.g. an unknown vertex inside a shared
+            # gather) must not fail its batch-mates: retry individually so
+            # each request gets its own answer or its own typed error.
+            self.fallback_batches += 1
+            for params, future in entries:
+                try:
+                    result = self._run_one(key, params)
+                except ReproError as exc:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(result)
+            return
+        for (_, future), result in zip(entries, results):
+            future.set_result(result)
+
+    def stats(self) -> dict:
+        """Counters for the service's ``stats`` endpoint and the benchmark."""
+        return {
+            "max_batch": self.config.max_batch,
+            "max_linger": self.config.max_linger,
+            "batches_flushed": self.batches_flushed,
+            "requests_batched": self.requests_batched,
+            "largest_batch": self.largest_batch,
+            "fallback_batches": self.fallback_batches,
+            "pending": self.pending(),
+        }

@@ -1,0 +1,122 @@
+"""``repro-serve``: run the nucleus query service over a saved index.
+
+Examples
+--------
+Serve an index on a fixed port with hot reload::
+
+    repro-serve out/flickr.npz --port 7777 --watch
+
+Serve with coalescing disabled (serial dispatch, benchmark baseline)::
+
+    repro-serve out/flickr.npz --max-batch 1
+
+All failures exit with status 2 and one typed line on stderr, e.g.::
+
+    repro-serve: error: IndexFormatError: failed to load nucleus index ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.exceptions import ReproError
+from repro.serve.batching import BatchingConfig
+from repro.serve.server import run_server
+from repro.serve.service import QueryService
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve nucleus-decomposition queries from a saved index "
+        "over newline-delimited JSON.",
+    )
+    parser.add_argument("index", help="path to a saved NucleusIndex (.npz)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free port)"
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=BatchingConfig.max_batch,
+        help="micro-batch size cap; 1 disables coalescing",
+    )
+    parser.add_argument(
+        "--linger-ms",
+        type=float,
+        default=BatchingConfig.max_linger * 1000.0,
+        help="max milliseconds a request may wait for batch-mates",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024, help="query engine LRU capacity"
+    )
+    parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load the index eagerly instead of memory-mapping it",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll the index file and hot-reload new revisions",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between reload-watcher polls (with --watch)",
+    )
+    return parser
+
+
+def _announce(service: QueryService):
+    def on_ready(host: str, port: int) -> None:
+        index = service.index
+        print(
+            f"serving {service.source_path} on {host}:{port} "
+            f"(revision {index.revision}, "
+            f"{'mmap' if index.mmapped else 'eager'}, "
+            f"max_batch {service.batcher.config.max_batch})",
+            flush=True,
+        )
+
+    return on_ready
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        service = QueryService(
+            args.index,
+            batching=BatchingConfig(
+                max_batch=args.max_batch, max_linger=args.linger_ms / 1000.0
+            ),
+            cache_size=args.cache_size,
+            mmap=not args.no_mmap,
+        )
+        asyncio.run(
+            run_server(
+                service,
+                args.host,
+                args.port,
+                watch=args.watch,
+                poll_interval=args.poll_interval,
+                on_ready=_announce(service),
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+    except (ReproError, OSError) as exc:
+        message = str(exc).splitlines()[0] if str(exc) else exc.__class__.__doc__
+        print(f"repro-serve: error: {type(exc).__name__}: {message}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Network front ends for the query service.
+
+The primary front end is a stdlib-only asyncio server speaking the JSON-lines
+protocol (:mod:`repro.serve.protocol`): one connection may pipeline any
+number of requests; each is answered as soon as its micro-batch flushes, so
+responses can arrive out of order and clients correlate them by ``id``.
+A malformed line never kills the connection — it earns an ``ok: false``
+response with a ``MalformedRequestError`` payload.
+
+An optional HTTP adapter (:func:`create_fastapi_app`) exposes the same
+operations as ``POST /query`` for deployments that already run
+FastAPI/uvicorn; it is guarded by an import check so the core service stays
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib.util
+from functools import partial
+
+from repro.exceptions import ReproError
+from repro.serve.protocol import (
+    MalformedRequestError,
+    decode_request,
+    encode_response,
+    error_payload,
+)
+from repro.serve.service import QueryService
+
+__all__ = [
+    "create_fastapi_app",
+    "create_server",
+    "fastapi_available",
+    "handle_connection",
+    "run_server",
+]
+
+#: Per-line read limit: generous enough for MAX_VERTICES_PER_REQUEST labels.
+_LINE_LIMIT = 8 * 1024 * 1024
+
+
+async def _answer_line(service: QueryService, raw: bytes) -> dict:
+    """Turn one raw request line into one response object (never raises)."""
+    try:
+        request = decode_request(raw)
+    except MalformedRequestError as exc:
+        return {"id": None, "ok": False, "error": error_payload(exc)}
+    try:
+        return await service.submit(request)
+    except ReproError as exc:  # pragma: no cover - submit maps typed errors itself
+        return {"id": request.get("id"), "ok": False, "error": error_payload(exc)}
+    except Exception as exc:
+        # A bug must fail the one request, not the connection or the server.
+        return {
+            "id": request.get("id"),
+            "ok": False,
+            "error": {"type": "InternalServerError", "message": f"{type(exc).__name__}: {exc}"},
+        }
+
+
+async def handle_connection(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one JSON-lines connection, pipelining requests concurrently."""
+    write_lock = asyncio.Lock()
+    in_flight: set[asyncio.Task] = set()
+
+    async def respond(raw: bytes) -> None:
+        response = await _answer_line(service, raw)
+        async with write_lock:
+            writer.write(encode_response(response))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    try:
+        while True:
+            try:
+                raw = await reader.readline()
+            except (ValueError, ConnectionError):
+                # Line over the read limit / peer reset: drop the connection.
+                break
+            if not raw:
+                break
+            if not raw.strip():
+                continue
+            task = asyncio.ensure_future(respond(raw))
+            in_flight.add(task)
+            task.add_done_callback(in_flight.discard)
+        if in_flight:
+            await asyncio.gather(*in_flight, return_exceptions=True)
+    except asyncio.CancelledError:  # pragma: no cover - loop shutdown
+        pass  # mid-connection shutdown: just close the transport quietly
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+            pass
+
+
+async def create_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the JSON-lines server (``port=0`` picks a free port).
+
+    The caller owns the returned server: query the bound address via
+    ``server.sockets[0].getsockname()`` and run ``serve_forever()`` (or use
+    :func:`run_server`, which also starts the reload watcher).
+    """
+    return await asyncio.start_server(
+        partial(handle_connection, service), host, port, limit=_LINE_LIMIT
+    )
+
+
+async def run_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    watch: bool = False,
+    poll_interval: float = 1.0,
+    ready: "asyncio.Future | None" = None,
+    on_ready=None,
+) -> None:
+    """Run the JSON-lines server until cancelled.
+
+    ``watch=True`` starts the hot-reload watcher on the service's source
+    path alongside the server.  ``on_ready(host, port)`` (and/or the
+    ``ready`` future) fires once the socket is bound, which is how the CLI
+    prints its "serving on …" line only when clients can actually connect.
+    """
+    server = await create_server(service, host, port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    watcher = (
+        asyncio.ensure_future(service.watch(interval=poll_interval)) if watch else None
+    )
+    if on_ready is not None:
+        on_ready(bound_host, bound_port)
+    if ready is not None and not ready.done():
+        ready.set_result((bound_host, bound_port))
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        if watcher is not None:
+            watcher.cancel()
+        service.batcher.flush_all()
+
+
+# --------------------------------------------------------------------------- #
+# optional HTTP adapter
+# --------------------------------------------------------------------------- #
+def fastapi_available() -> bool:
+    """Whether the optional FastAPI dependency is importable."""
+    return importlib.util.find_spec("fastapi") is not None
+
+
+def create_fastapi_app(service: QueryService):
+    """Build a FastAPI app over ``service`` (``POST /query``, ``GET /stats``).
+
+    FastAPI is an optional dependency; when it is not installed this raises
+    :class:`~repro.exceptions.ReproError` with install guidance instead of an
+    ImportError mid-deployment.  Run the returned app with uvicorn.
+    """
+    if not fastapi_available():  # pragma: no cover - exercised via the error path
+        raise ReproError(
+            "the HTTP adapter needs the optional 'fastapi' package "
+            "(pip install fastapi uvicorn); the JSON-lines server has no "
+            "extra dependencies"
+        )
+    from fastapi import FastAPI  # noqa: PLC0415 - optional dependency
+
+    app = FastAPI(title="repro nucleus query service")
+
+    @app.post("/query")
+    async def query(request: dict) -> dict:
+        return await service.submit(request)
+
+    @app.get("/stats")
+    async def stats() -> dict:
+        return service.stats()
+
+    return app

@@ -1,0 +1,244 @@
+"""The query service: one engine, a micro-batching queue, and hot reload.
+
+:class:`QueryService` is the in-process heart of "nucleus as a service": it
+owns a :class:`~repro.query.NucleusQueryEngine` over a (typically
+memory-mapped) :class:`~repro.index.NucleusIndex`, funnels coalescable
+requests through a :class:`~repro.serve.batching.MicroBatcher`, and swaps in
+rebuilt or incrementally-updated index revisions without dropping in-flight
+requests.
+
+Reload safety comes from two rules:
+
+* **lineage** — a candidate index is accepted only when its
+  ``base_fingerprint`` matches the serving lineage (an ``apply_updates``
+  revision of the same base graph) or its content fingerprint matches the
+  current one (a from-scratch rebuild of the same graph).  Anything else —
+  an index of a *different* graph — raises
+  :class:`~repro.exceptions.IndexCompatibilityError` and the old revision
+  keeps serving.
+* **atomicity** — batch flushes execute synchronously on the event loop, so
+  a reload (also synchronous) can interleave only *between* flushes: every
+  response is computed entirely against one revision and is tagged with it
+  (``revision`` + ``cache_key``), never a torn mix.
+
+The file watcher (:meth:`QueryService.watch`) polls an index path and calls
+:meth:`reload_from` when the file changes; a half-written file simply fails
+to load (:class:`~repro.exceptions.IndexFormatError`) and is retried on the
+next poll, so writers only need an atomic ``rename`` to publish safely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from pathlib import Path
+
+from repro.exceptions import (
+    IndexCompatibilityError,
+    IndexFormatError,
+    ReproError,
+)
+from repro.index.nucleus_index import NucleusIndex
+from repro.query.engine import NucleusQueryEngine
+from repro.serve.batching import BatchingConfig, MicroBatcher
+from repro.serve.protocol import OPERATIONS, error_payload, validate_request
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Serve community-search queries from a nucleus index (see module docstring).
+
+    Parameters
+    ----------
+    index:
+        The :class:`NucleusIndex` to serve (pass ``NucleusIndex.load(path,
+        mmap=True)`` so worker processes share pages), or a path to one.
+    batching:
+        Micro-batching knobs; ``BatchingConfig(max_batch=1)`` disables
+        coalescing (serial dispatch).
+    cache_size:
+        LRU capacity of the underlying query engine.
+    mmap:
+        How :meth:`reload_from` (and a path-form ``index``) loads archives.
+    """
+
+    def __init__(
+        self,
+        index: NucleusIndex | str | Path,
+        *,
+        batching: BatchingConfig | None = None,
+        cache_size: int = 1024,
+        mmap: bool = True,
+    ) -> None:
+        self.mmap = mmap
+        if not isinstance(index, NucleusIndex):
+            self.source_path: Path | None = Path(index)
+            index = NucleusIndex.load(self.source_path, mmap=mmap)
+        else:
+            self.source_path = None
+        self.engine = NucleusQueryEngine(index, cache_size=cache_size)
+        self.batcher = MicroBatcher(self._run_many, self._run_one, batching)
+        self.started_at = time.time()
+        self.requests = 0
+        self.errors = 0
+        self.reloads = 0
+        self.reload_failures = 0
+        self.last_reload_error: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # query path
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> NucleusIndex:
+        """The index revision currently serving."""
+        return self.engine.index
+
+    # Both runners return (result, index): the revision is snapshotted inside
+    # the synchronous flush, so a response is always tagged with the revision
+    # that actually computed it — even if a hot reload lands between the
+    # flush and the awaiting task resuming.
+    def _run_many(self, key: tuple, batch: list[dict]) -> list:
+        index = self.index
+        operation = OPERATIONS[key[0]]
+        return [(result, index) for result in operation.run_many(self.engine, batch)]
+
+    def _run_one(self, key: tuple, params: dict) -> tuple:
+        return OPERATIONS[key[0]].run(self.engine, params), self.index
+
+    async def call(self, op: str, **params) -> object:
+        """Execute one operation, micro-batched; raises the typed errors.
+
+        This is the programmatic surface (`repro.query(...)` bottoms out
+        here when handed a service): coalescable operations join the shared
+        batching queue, everything else executes immediately against the
+        current engine snapshot.
+        """
+        operation, clean = validate_request({"op": op, **params})
+        if operation.batch_key is not None:
+            result, _ = await self.batcher.submit(operation.batch_key(clean), clean)
+            return result
+        return operation.run(self.engine, clean)
+
+    async def submit(self, request: dict) -> dict:
+        """Answer one protocol request object with a protocol response object.
+
+        Never raises for request-shaped input: every typed error becomes an
+        ``ok: false`` response carrying the error type and a one-line
+        message.  The response is tagged with the revision that answered.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        self.requests += 1
+        try:
+            operation, params = validate_request(request)
+            if operation.batch_key is not None:
+                result, index = await self.batcher.submit(
+                    operation.batch_key(params), params
+                )
+            else:
+                index = self.index
+                result = operation.run(self.engine, params)
+        except ReproError as exc:
+            self.errors += 1
+            return {"id": request_id, "ok": False, "error": error_payload(exc)}
+        return {
+            "id": request_id,
+            "ok": True,
+            "result": result,
+            "revision": index.revision,
+            "cache_key": index.cache_key,
+        }
+
+    # ------------------------------------------------------------------ #
+    # hot reload
+    # ------------------------------------------------------------------ #
+    def refresh(self, index: NucleusIndex) -> bool:
+        """Swap the serving engine onto ``index`` after validating lineage.
+
+        Returns ``True`` when the engine was refreshed, ``False`` when
+        ``index`` is the revision already serving (no-op).  Raises
+        :class:`IndexCompatibilityError` when ``index`` belongs to a
+        different graph lineage — the current revision keeps serving.
+        """
+        current = self.index
+        if index.cache_key == current.cache_key:
+            return False
+        same_lineage = index.base_fingerprint == current.base_fingerprint
+        same_content = index.fingerprint == current.fingerprint
+        if not (same_lineage or same_content):
+            raise IndexCompatibilityError(
+                f"refusing hot reload: candidate index (base "
+                f"{index.base_fingerprint[:12]}…) does not descend from the serving "
+                f"lineage (base {current.base_fingerprint[:12]}…) and is not a "
+                f"rebuild of the serving graph ({current.fingerprint[:12]}…)"
+            )
+        self.engine.refresh(index)
+        self.reloads += 1
+        return True
+
+    def reload_from(self, path: str | Path | None = None) -> bool:
+        """Load ``path`` (default: the path the service was started from)
+        and :meth:`refresh` onto it."""
+        path = Path(path) if path is not None else self.source_path
+        if path is None:
+            raise IndexFormatError(
+                "reload_from needs a path: the service was constructed from an "
+                "in-memory index"
+            )
+        return self.refresh(NucleusIndex.load(path, mmap=self.mmap))
+
+    async def watch(self, path: str | Path | None = None, interval: float = 1.0) -> None:
+        """Poll ``path`` and hot-reload when the file changes (run as a task).
+
+        A failed reload — half-written file, wrong lineage — is recorded in
+        :attr:`last_reload_error` and retried on the next change of the
+        file's signature; the serving revision is never dropped.
+        """
+        path = Path(path) if path is not None else self.source_path
+        if path is None:
+            raise IndexFormatError("watch needs a path-backed service or explicit path")
+        last_signature = None
+        while True:
+            try:
+                stat = os.stat(path)
+                signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+            except OSError:
+                signature = None
+            if signature is not None and signature != last_signature:
+                try:
+                    self.reload_from(path)
+                except (IndexFormatError, IndexCompatibilityError) as exc:
+                    self.reload_failures += 1
+                    self.last_reload_error = (
+                        f"{type(exc).__name__}: {str(exc).splitlines()[0]}"
+                    )
+                else:
+                    last_signature = signature
+            await asyncio.sleep(interval)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Service counters (exposed by the server's ``stats`` responses)."""
+        index = self.index
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": self.requests,
+            "errors": self.errors,
+            "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
+            "last_reload_error": self.last_reload_error,
+            "revision": index.revision,
+            "cache_key": index.cache_key,
+            "mmapped": index.mmapped,
+            "batching": self.batcher.stats(),
+            "cache": self.engine.cache_info(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(index={self.index!r}, "
+            f"revision={self.index.revision}, requests={self.requests})"
+        )

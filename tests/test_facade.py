@@ -1,0 +1,136 @@
+"""Tests for the stable top-level facade (repro.__init__).
+
+The public API contract: ``repro.decompose`` / ``repro.build_index`` /
+``repro.load_index`` / ``repro.query`` / ``repro.serve``, an explicit
+``__all__`` where every name resolves, and ``__api_version__`` naming the
+contract.  ``repro.query`` and ``repro.serve`` are callable modules — both
+the module-ness (submodule imports) and the callable-ness are pinned here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+import repro.query
+import repro.serve
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import clique_graph
+from repro.query import NucleusQueryEngine
+from repro.serve import QueryService
+
+THETA = 0.4
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return clique_graph(6, probability=0.9)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return repro.build_index(graph, mode="local", theta=THETA)
+
+
+class TestSurface:
+    def test_api_version_is_declared(self):
+        assert repro.__api_version__ == "1"
+        assert "__api_version__" in repro.__all__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing name {name}"
+
+    def test_facade_entry_points_exported(self):
+        for name in ("decompose", "build_index", "load_index", "query", "serve"):
+            assert name in repro.__all__
+
+    def test_star_import_is_clean(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        assert "decompose" in namespace and "ProbabilisticGraph" in namespace
+
+
+class TestDecompose:
+    def test_local_is_the_default(self, graph):
+        result = repro.decompose(graph, theta=THETA)
+        assert result.max_score == repro.local_nucleus_decomposition(
+            graph, THETA
+        ).max_score
+
+    def test_global_and_weak_require_k(self, graph):
+        for mode in ("global", "weak", "weakly-global"):
+            with pytest.raises(InvalidParameterError, match="requires an explicit k"):
+                repro.decompose(graph, mode=mode, theta=THETA)
+
+    def test_global_dispatch(self, graph):
+        nuclei = repro.decompose(graph, mode="global", theta=THETA, k=1, seed=11)
+        assert all(n.mode == "global" for n in nuclei)
+
+    def test_weak_dispatch(self, graph):
+        nuclei = repro.decompose(graph, mode="weak", theta=THETA, k=1, seed=11)
+        assert all(n.mode == "weakly-global" for n in nuclei)
+
+    def test_unknown_mode_is_typed_error(self, graph):
+        with pytest.raises(InvalidParameterError, match="mode must be"):
+            repro.decompose(graph, mode="banana")
+
+    def test_kwargs_forward(self, graph):
+        result = repro.decompose(graph, theta=THETA, backend="csr")
+        assert result.max_score == repro.decompose(graph, theta=THETA).max_score
+
+
+class TestCallableQuery:
+    def test_query_module_still_imports(self):
+        # Callable-module magic must not break normal package semantics.
+        assert repro.query.NucleusQueryEngine is NucleusQueryEngine
+
+    def test_query_against_index(self, index):
+        engine = NucleusQueryEngine(index)
+        vertices = index.vertex_labels[:3]
+        assert repro.query(index, "max_score", vertices=vertices) == [
+            engine.max_score(v) for v in vertices
+        ]
+
+    def test_query_against_engine_service_and_path(self, index, tmp_path):
+        engine = NucleusQueryEngine(index)
+        service = QueryService(index)
+        path = tmp_path / "facade.idx.npz"
+        index.save(path, compress=False)
+        expected = [engine.max_score(index.vertex_labels[0])]
+        for target in (engine, service, str(path), path):
+            assert repro.query(target, "max_score", vertices=index.vertex_labels[:1]) == expected
+
+    def test_query_rejects_bad_target(self):
+        with pytest.raises(InvalidParameterError, match="query target"):
+            repro.query(42, "ping")
+
+
+class TestCallableServe:
+    def test_serve_module_still_imports(self):
+        assert repro.serve.QueryService is QueryService
+
+    def test_serve_returns_query_service(self, index):
+        service = repro.serve(index, batching=repro.serve.BatchingConfig(max_batch=1))
+        assert isinstance(service, QueryService)
+
+        async def drive():
+            return await service.call("ping")
+
+        assert asyncio.run(drive()) == "pong"
+
+    def test_serve_from_path_mmaps_by_default(self, index, tmp_path):
+        path = tmp_path / "served.idx.npz"
+        index.save(path, compress=False)
+        service = repro.serve(path)
+        assert service.index.mmapped
+
+
+class TestLoadIndex:
+    def test_load_index_mmap_kwarg(self, index, tmp_path):
+        path = tmp_path / "loaded.idx.npz"
+        index.save(path, compress=False)
+        assert repro.load_index(path, mmap=True).mmapped
+        assert not repro.load_index(path).mmapped

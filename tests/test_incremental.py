@@ -427,17 +427,17 @@ class TestEngineRefresh:
         graph = paper_figure1_graph
         index = build_local_index(graph, THETA, backend="csr")
         engine = NucleusQueryEngine(index)
-        engine.max_score_batch(list(graph.vertices()))
+        engine.max_score(list(graph.vertices()))
         updated = apply_updates(index, [EdgeUpdate("delete", 1, 7)])
         engine.refresh(updated)
         fresh = NucleusQueryEngine(updated)
         vertices = sorted(graph.vertices())
         assert np.array_equal(
-            engine.max_score_batch(vertices), fresh.max_score_batch(vertices)
+            engine.max_score(vertices), fresh.max_score(vertices)
         )
         for k in updated.levels:
             assert np.array_equal(
-                engine.contains_batch(vertices, k), fresh.contains_batch(vertices, k)
+                engine.contains(vertices, k), fresh.contains(vertices, k)
             )
 
     def test_refresh_verifies_against_live_graph(self, paper_figure1_graph):

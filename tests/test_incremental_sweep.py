@@ -106,11 +106,11 @@ def assert_bit_identical(actual, expected, context) -> None:
 def assert_queries_match(engine, rebuilt, labels, context) -> None:
     fresh = NucleusQueryEngine(rebuilt)
     assert np.array_equal(
-        engine.max_score_batch(labels), fresh.max_score_batch(labels)
+        engine.max_score(labels), fresh.max_score(labels)
     ), context
     for k in rebuilt.levels:
         assert np.array_equal(
-            engine.contains_batch(labels, k), fresh.contains_batch(labels, k)
+            engine.contains(labels, k), fresh.contains(labels, k)
         ), (context, k)
 
 

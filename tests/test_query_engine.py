@@ -70,7 +70,7 @@ class TestLocalParity:
     def test_vertex_max_score(self, name, backend):
         graph, result, engine = parity_setup(name, backend)
         vertices = sorted(graph.vertices())
-        batch = engine.max_score_batch(vertices)
+        batch = engine.max_score(vertices)
         for vertex, from_batch in zip(vertices, batch.tolist()):
             assert engine.max_score(vertex) == result.max_score_of(vertex) == from_batch
 
@@ -112,18 +112,19 @@ class TestLocalParity:
         for k in range(0, result.max_score + 1):
             member_sets = [set(n.subgraph.vertices()) for n in result.nuclei(k)]
             vertices = sorted(graph.vertices())
-            batch = engine.contains_batch(vertices, k)
+            batch = engine.contains(vertices, k)
             for vertex, from_batch in zip(vertices, batch.tolist()):
                 expected = any(vertex in s for s in member_sets)
                 assert engine.contains(vertex, k) is expected
                 assert from_batch is expected
 
-    def test_smallest_nucleus_batch(self, name, backend):
+    def test_smallest_nucleus(self, name, backend):
         graph, result, engine = parity_setup(name, backend)
         k = max(0, result.max_score)
         vertices = sorted(graph.vertices())
-        components = engine.smallest_nucleus_batch(vertices, k)
+        components = engine.smallest_nucleus(vertices, k)
         for vertex, component in zip(vertices, components.tolist()):
+            assert engine.smallest_nucleus(vertex, k) == component  # scalar ≡ batch
             if component < 0:
                 with pytest.raises(NucleusNotFoundError):
                     engine.nucleus_of(vertex, k)
@@ -222,7 +223,7 @@ class TestErrors:
         with pytest.raises(VertexNotFoundError):
             engine.max_score("missing")
         with pytest.raises(VertexNotFoundError):
-            engine.max_score_batch([0, "missing"])
+            engine.max_score([0, "missing"])
         with pytest.raises(VertexNotFoundError):
             engine.nucleus_of(["missing"], 0)
         with pytest.raises(VertexNotFoundError):
@@ -250,6 +251,48 @@ class TestErrors:
     def test_bad_rank_key(self):
         with pytest.raises(InvalidParameterError):
             self.engine().top_nuclei(by="popularity")
+
+
+# --------------------------------------------------------------------------- #
+# unified scalar-or-array surface + deprecated *_batch aliases
+# --------------------------------------------------------------------------- #
+class TestUnifiedSurface:
+    def engine(self) -> NucleusQueryEngine:
+        return NucleusQueryEngine(build_local_index(planted_graph(), THETA))
+
+    def test_scalar_and_array_shapes_match(self):
+        engine = self.engine()
+        k = max(engine.index.levels)
+        vertices = sorted(planted_graph().vertices())[:5]
+        scores = engine.max_score(vertices)
+        membership = engine.contains(vertices, k)
+        components = engine.smallest_nucleus(vertices, k)
+        assert isinstance(scores, np.ndarray) and scores.shape == (5,)
+        assert membership.dtype == bool and components.dtype == np.int64
+        for vertex, score, member, component in zip(
+            vertices, scores.tolist(), membership.tolist(), components.tolist()
+        ):
+            assert engine.max_score(vertex) == score
+            assert isinstance(engine.max_score(vertex), int)
+            assert engine.contains(vertex, k) is member
+            assert engine.smallest_nucleus(vertex, k) == component
+
+    @pytest.mark.parametrize(
+        "alias, unified, extra",
+        [
+            ("max_score_batch", "max_score", ()),
+            ("contains_batch", "contains", (0,)),
+            ("smallest_nucleus_batch", "smallest_nucleus", (0,)),
+        ],
+    )
+    def test_deprecated_batch_aliases(self, alias, unified, extra):
+        engine = self.engine()
+        vertices = sorted(planted_graph().vertices())[:4]
+        with pytest.deprecated_call(match=f"{alias}.. is deprecated"):
+            from_alias = getattr(engine, alias)(vertices, *extra)
+        from_unified = getattr(engine, unified)(vertices, *extra)
+        assert isinstance(from_alias, np.ndarray)
+        assert np.array_equal(from_alias, from_unified)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,695 @@
+"""Tests for the query service (repro.serve).
+
+Covers the wire protocol (validation, framing, typed error mapping), the
+micro-batching queue (coalescing, linger flushes, poisoned-batch fallback),
+the service (batched/serial parity, response tagging, stats), hot reload
+(lineage acceptance rules, the file watcher, and the no-torn-reads
+concurrency guarantee), the asyncio JSON-lines server, and the
+``repro-serve`` CLI (typed one-line errors, subprocess round trip).
+
+All async tests drive a private event loop via ``asyncio.run`` — no
+pytest-asyncio dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    IndexCompatibilityError,
+    IndexFormatError,
+    InvalidParameterError,
+    VertexNotFoundError,
+)
+from repro.graph.generators import clique_graph, planted_nucleus_graph
+from repro.index import EdgeUpdate, NucleusIndex, apply_updates, build_local_index
+from repro.query import NucleusQueryEngine
+from repro.serve import (
+    BatchingConfig,
+    MalformedRequestError,
+    MicroBatcher,
+    QueryService,
+    create_server,
+    decode_request,
+    encode_response,
+    execute,
+)
+from repro.serve.cli import main as serve_main
+from repro.serve.protocol import (
+    MAX_VERTICES_PER_REQUEST,
+    error_payload,
+    validate_request,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THETA = 0.4
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_nucleus_graph(
+        num_communities=2,
+        community_size=6,
+        intra_density=1.0,
+        background_vertices=8,
+        background_density=0.15,
+        bridges_per_community=2,
+        probability_model=lambda rng: 0.9,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return build_local_index(graph, THETA)
+
+
+@pytest.fixture(scope="module")
+def index_path(index, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("serve") / "planted.idx.npz"
+    index.save(path, compress=False)
+    return path
+
+
+def make_service(index, **kwargs) -> QueryService:
+    kwargs.setdefault("batching", BatchingConfig(max_batch=32, max_linger=0.001))
+    return QueryService(index, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# protocol
+# --------------------------------------------------------------------------- #
+class TestProtocol:
+    def test_decode_encode_round_trip(self):
+        line = encode_response({"id": 1, "ok": True, "result": [2]})
+        assert line.endswith(b"\n")
+        assert decode_request(line) == {"id": 1, "ok": True, "result": [2]}
+
+    @pytest.mark.parametrize(
+        "raw",
+        [b"not json\n", b"\xff\xfe\n", b"[1, 2]\n", b'"just a string"\n'],
+    )
+    def test_decode_rejects_junk(self, raw):
+        with pytest.raises(MalformedRequestError):
+            decode_request(raw)
+
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            {},  # no op
+            {"op": 7},  # op not a string
+            {"op": "no_such_op"},
+            {"op": "max_score"},  # missing vertices
+            {"op": "max_score", "vertices": []},
+            {"op": "max_score", "vertices": "abc"},
+            {"op": "max_score", "vertices": [True]},
+            {"op": "max_score", "vertices": [1.5]},
+            {"op": "contains", "vertices": [0]},  # missing k
+            {"op": "contains", "vertices": [0], "k": -1},
+            {"op": "contains", "vertices": [0], "k": True},
+            {"op": "top_nuclei", "n": -1},
+            {"op": "top_nuclei", "n": 100_001},
+            {"op": "top_nuclei", "by": "nonsense"},
+            {"op": "nucleus_of", "seeds": [], "k": 0},
+            "not a dict",
+        ],
+    )
+    def test_validate_rejects_bad_requests(self, request_obj):
+        with pytest.raises(MalformedRequestError):
+            validate_request(request_obj)
+
+    def test_vertex_limit_enforced(self):
+        too_many = [0] * (MAX_VERTICES_PER_REQUEST + 1)
+        with pytest.raises(MalformedRequestError, match="per-request limit"):
+            validate_request({"op": "max_score", "vertices": too_many})
+
+    def test_error_payload_is_typed_and_one_line(self):
+        payload = error_payload(IndexFormatError("first line\nsecond line"))
+        assert payload == {"type": "IndexFormatError", "message": "first line"}
+
+    def test_error_payload_unwraps_keyerror_quotes(self):
+        payload = error_payload(VertexNotFoundError("x"))
+        assert payload["type"] == "VertexNotFoundError"
+        # str(KeyError) would wrap the message in an extra layer of quotes.
+        assert payload["message"] == "vertex 'x' is not in the graph"
+
+    def test_execute_matches_engine(self, index):
+        engine = NucleusQueryEngine(index)
+        vertices = index.vertex_labels[:8]
+        assert execute(engine, {"op": "max_score", "vertices": vertices}) == [
+            engine.max_score(v) for v in vertices
+        ]
+        k = max(index.levels)
+        assert execute(
+            engine, {"op": "contains", "vertices": vertices, "k": k}
+        ) == [engine.contains(v, k) for v in vertices]
+
+    def test_execute_results_are_json_serialisable(self, index):
+        engine = NucleusQueryEngine(index)
+        k = max(index.levels)
+        for request in (
+            {"op": "max_score", "vertices": index.vertex_labels[:4]},
+            {"op": "contains", "vertices": index.vertex_labels[:4], "k": k},
+            {"op": "smallest_nucleus", "vertices": index.vertex_labels[:4], "k": k},
+            {"op": "top_nuclei", "n": 3},
+            {"op": "info"},
+            {"op": "ping"},
+        ):
+            json.dumps(execute(engine, request))
+
+
+# --------------------------------------------------------------------------- #
+# micro-batching
+# --------------------------------------------------------------------------- #
+class TestMicroBatcher:
+    def test_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BatchingConfig(max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            BatchingConfig(max_linger=-0.1)
+
+    def test_concurrent_submits_coalesce(self):
+        calls: list[list] = []
+
+        def run_many(key, batch):
+            calls.append(batch)
+            return [params["x"] * 2 for params in batch]
+
+        batcher = MicroBatcher(
+            run_many, lambda key, p: p["x"] * 2, BatchingConfig(max_batch=64)
+        )
+
+        async def drive():
+            return await asyncio.gather(
+                *[batcher.submit(("double",), {"x": i}) for i in range(10)]
+            )
+
+        assert asyncio.run(drive()) == [i * 2 for i in range(10)]
+        # All ten arrived in the same loop tick: one coalesced call.
+        assert len(calls) == 1 and len(calls[0]) == 10
+        assert batcher.stats()["largest_batch"] == 10
+
+    def test_max_batch_triggers_immediate_flush(self):
+        flushes: list[int] = []
+
+        def run_many(key, batch):
+            flushes.append(len(batch))
+            return [0] * len(batch)
+
+        batcher = MicroBatcher(
+            run_many, lambda key, p: 0, BatchingConfig(max_batch=4, max_linger=60.0)
+        )
+
+        async def drive():
+            # max_linger is a minute: only the max_batch trigger can flush.
+            await asyncio.gather(
+                *[batcher.submit(("op",), {"i": i}) for i in range(8)]
+            )
+
+        asyncio.run(asyncio.wait_for(drive(), timeout=5))
+        assert flushes == [4, 4]
+
+    def test_linger_flushes_partial_batch(self):
+        batcher = MicroBatcher(
+            lambda key, batch: [1] * len(batch),
+            lambda key, p: 1,
+            BatchingConfig(max_batch=1000, max_linger=0.01),
+        )
+
+        async def drive():
+            return await asyncio.wait_for(batcher.submit(("op",), {}), timeout=5)
+
+        assert asyncio.run(drive()) == 1
+
+    def test_poisoned_batch_falls_back_per_request(self):
+        def run_many(key, batch):
+            if any(params["bad"] for params in batch):
+                raise VertexNotFoundError("poison")
+            return [params["i"] for params in batch]
+
+        def run_one(key, params):
+            if params["bad"]:
+                raise VertexNotFoundError("poison")
+            return params["i"]
+
+        batcher = MicroBatcher(run_many, run_one, BatchingConfig(max_batch=8))
+
+        async def drive():
+            return await asyncio.gather(
+                *[
+                    batcher.submit(("op",), {"i": i, "bad": i == 3})
+                    for i in range(8)
+                ],
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(drive())
+        assert [r for i, r in enumerate(results) if i != 3] == [
+            i for i in range(8) if i != 3
+        ]
+        assert isinstance(results[3], VertexNotFoundError)
+        assert batcher.stats()["fallback_batches"] == 1
+
+    def test_single_entry_uses_direct_dispatch(self):
+        many_calls = []
+        batcher = MicroBatcher(
+            lambda key, batch: many_calls.append(batch) or [0] * len(batch),
+            lambda key, p: "solo",
+            BatchingConfig(max_batch=1),
+        )
+
+        async def drive():
+            return await batcher.submit(("op",), {})
+
+        assert asyncio.run(drive()) == "solo"
+        assert many_calls == []
+        assert batcher.stats()["batches_flushed"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# service
+# --------------------------------------------------------------------------- #
+def submit_all(service: QueryService, requests: list[dict]) -> list[dict]:
+    async def drive():
+        return await asyncio.gather(*[service.submit(dict(r)) for r in requests])
+
+    return asyncio.run(drive())
+
+
+class TestQueryService:
+    def test_batched_serial_parity(self, index):
+        vertices = index.vertex_labels
+        k = max(index.levels)
+        requests = []
+        for i, v in enumerate(vertices):
+            requests.append({"id": i, "op": "max_score", "vertices": [v]})
+            requests.append(
+                {"id": f"c{i}", "op": "contains", "vertices": [v], "k": k}
+            )
+        batched = submit_all(make_service(index), requests)
+        serial = submit_all(
+            QueryService(index, batching=BatchingConfig(max_batch=1)), requests
+        )
+        assert [r["result"] for r in batched] == [r["result"] for r in serial]
+        assert all(r["ok"] for r in batched)
+
+    def test_responses_are_tagged_with_revision(self, index):
+        [response] = submit_all(make_service(index), [{"op": "ping"}])
+        assert response["revision"] == index.revision
+        assert response["cache_key"] == index.cache_key
+
+    def test_typed_error_response(self, index):
+        service = make_service(index)
+        [response] = submit_all(
+            service, [{"id": 9, "op": "max_score", "vertices": ["missing"]}]
+        )
+        assert response == {
+            "id": 9,
+            "ok": False,
+            "error": {
+                "type": "VertexNotFoundError",
+                "message": "vertex 'missing' is not in the graph",
+            },
+        }
+        assert service.errors == 1
+
+    def test_poisoned_batch_only_fails_offender(self, index):
+        service = make_service(index)
+        good = index.vertex_labels[:4]
+        requests = [{"id": v, "op": "max_score", "vertices": [v]} for v in good]
+        requests.insert(2, {"id": "bad", "op": "max_score", "vertices": ["missing"]})
+        responses = submit_all(service, requests)
+        by_id = {r["id"]: r for r in responses}
+        assert not by_id["bad"]["ok"]
+        assert all(by_id[v]["ok"] for v in good)
+        assert service.batcher.stats()["fallback_batches"] >= 1
+
+    def test_call_returns_raw_results(self, index):
+        service = make_service(index)
+        vertices = index.vertex_labels[:5]
+
+        async def drive():
+            return await service.call("max_score", vertices=vertices)
+
+        engine = NucleusQueryEngine(index)
+        assert asyncio.run(drive()) == [engine.max_score(v) for v in vertices]
+
+    def test_info_reports_revision_and_mmap(self, index):
+        [response] = submit_all(make_service(index), [{"op": "info"}])
+        info = response["result"]
+        assert info["revision"] == 0
+        assert info["mmapped"] is False
+        assert info["num_vertices"] == index.num_vertices
+
+    def test_service_from_path_mmaps(self, index_path, index):
+        service = QueryService(index_path)
+        assert service.index.mmapped
+        assert service.index.cache_key == index.cache_key
+
+    def test_stats_counters(self, index):
+        service = make_service(index)
+        submit_all(service, [{"op": "ping"}, {"op": "nope"}])
+        stats = service.stats()
+        assert stats["requests"] == 2
+        assert stats["errors"] == 1
+        assert stats["reloads"] == 0
+        assert stats["revision"] == 0
+        assert stats["batching"]["max_batch"] == 32
+
+
+# --------------------------------------------------------------------------- #
+# hot reload
+# --------------------------------------------------------------------------- #
+def updated_index(graph, index) -> NucleusIndex:
+    """Revision 1: delete one intra-community edge (changes some answers)."""
+    u, v, _ = sorted(graph.edges(), key=lambda t: (str(t[0]), str(t[1])))[0]
+    return apply_updates(index, [EdgeUpdate("delete", u, v)])
+
+
+class TestHotReload:
+    def test_refresh_accepts_incremental_descendant(self, graph, index):
+        service = make_service(index)
+        revised = updated_index(graph, index)
+        assert service.refresh(revised) is True
+        assert service.index.revision == 1
+        assert service.reloads == 1
+
+    def test_refresh_same_revision_is_noop(self, index):
+        service = make_service(index)
+        assert service.refresh(index) is False
+        assert service.reloads == 0
+
+    def test_refresh_accepts_same_graph_rebuild(self, graph, index):
+        service = make_service(index)
+        rebuilt = build_local_index(graph, THETA)
+        assert rebuilt.fingerprint == index.fingerprint
+        # A from-scratch rebuild of the same graph shares the cache_key, so
+        # this is a no-op swap rather than a rejection.
+        assert service.refresh(rebuilt) is False
+
+    def test_refresh_rejects_foreign_lineage(self, index):
+        service = make_service(index)
+        foreign = build_local_index(clique_graph(6, probability=0.8), THETA)
+        with pytest.raises(IndexCompatibilityError, match="refusing hot reload"):
+            service.refresh(foreign)
+        assert service.index.cache_key == index.cache_key  # still serving
+
+    def test_reload_from_requires_path(self, index):
+        service = make_service(index)
+        with pytest.raises(IndexFormatError, match="needs a path"):
+            service.reload_from()
+
+    def test_watcher_picks_up_new_revision(self, graph, index, tmp_path):
+        path = tmp_path / "watched.idx.npz"
+        index.save(path, compress=False)
+        service = QueryService(path, batching=BatchingConfig(max_batch=1))
+        revised = updated_index(graph, index)
+
+        async def drive():
+            watcher = asyncio.ensure_future(service.watch(interval=0.02))
+            try:
+                await asyncio.sleep(0.1)  # give the watcher its baseline
+                revised.save(path, compress=False)
+                deadline = time.monotonic() + 10
+                while service.index.revision != 1:
+                    assert time.monotonic() < deadline, "watcher never reloaded"
+                    await asyncio.sleep(0.02)
+            finally:
+                watcher.cancel()
+
+        asyncio.run(drive())
+        assert service.reloads == 1
+
+    def test_watcher_survives_bad_file_and_retries(self, graph, index, tmp_path):
+        path = tmp_path / "watched.idx.npz"
+        index.save(path, compress=False)
+        service = QueryService(path, batching=BatchingConfig(max_batch=1))
+        revised = updated_index(graph, index)
+
+        async def drive():
+            watcher = asyncio.ensure_future(service.watch(interval=0.02))
+            try:
+                await asyncio.sleep(0.1)
+                path.write_bytes(b"this is not an index")  # torn write
+                deadline = time.monotonic() + 10
+                while service.reload_failures == 0:
+                    assert time.monotonic() < deadline, "bad file never noticed"
+                    await asyncio.sleep(0.02)
+                assert service.index.revision == 0  # old revision kept serving
+                assert "IndexFormatError" in service.last_reload_error
+                revised.save(path, compress=False)  # publisher fixes the file
+                deadline = time.monotonic() + 10
+                while service.index.revision != 1:
+                    assert time.monotonic() < deadline, "watcher never recovered"
+                    await asyncio.sleep(0.02)
+            finally:
+                watcher.cancel()
+
+        asyncio.run(drive())
+
+
+class TestNoTornReads:
+    def test_concurrent_queries_never_mix_revisions(self, graph, index):
+        """Every response under concurrent reload matches exactly one revision.
+
+        Two engines (old and new revision) provide the ground truth; a fleet
+        of clients hammers the service while another task hot-reloads
+        mid-stream.  Each response names the revision that answered it and
+        its result must equal that revision's answer — a torn read (old
+        cache_key with new arrays, or a half-swapped engine) would disagree.
+        """
+        revised = updated_index(graph, index)
+        vertices = index.vertex_labels
+        expected = {
+            idx.cache_key: dict(
+                zip(vertices, NucleusQueryEngine(idx).max_score(vertices).tolist())
+            )
+            for idx in (index, revised)
+        }
+        # The update must change at least one answer, or the test is vacuous.
+        assert expected[index.cache_key] != expected[revised.cache_key]
+
+        service = make_service(index)
+        responses: list[tuple[object, dict]] = []
+
+        async def client(offset: int):
+            for i in range(40):
+                vertex = vertices[(offset + i) % len(vertices)]
+                response = await service.submit(
+                    {"op": "max_score", "vertices": [vertex]}
+                )
+                responses.append((vertex, response))
+                if i % 8 == 7:
+                    await asyncio.sleep(0)
+
+        async def reloader():
+            await asyncio.sleep(0.002)
+            service.refresh(revised)
+
+        async def drive():
+            await asyncio.gather(*[client(o * 3) for o in range(20)], reloader())
+
+        asyncio.run(drive())
+
+        seen_keys = set()
+        for vertex, response in responses:
+            assert response["ok"], response
+            key = response["cache_key"]
+            assert key in expected, "response tagged with an unknown revision"
+            assert response["result"] == [expected[key][vertex]], (
+                f"torn read: vertex {vertex} answered {response['result']} "
+                f"which is not revision {response['revision']}'s answer"
+            )
+            seen_keys.add(key)
+        assert seen_keys == set(expected), "reload did not interleave the stream"
+
+
+# --------------------------------------------------------------------------- #
+# asyncio server
+# --------------------------------------------------------------------------- #
+async def tcp_session(service: QueryService, lines: list[bytes]) -> list[dict]:
+    server = await create_server(service)
+    host, port = server.sockets[0].getsockname()[:2]
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"".join(lines))
+    await writer.drain()
+    responses = []
+    for _ in range(sum(1 for line in lines if line.strip())):
+        responses.append(json.loads(await asyncio.wait_for(reader.readline(), 10)))
+    writer.close()
+    await writer.wait_closed()
+    server.close()
+    await server.wait_closed()
+    return responses
+
+
+class TestServer:
+    def test_round_trip_and_malformed_lines(self, index):
+        service = make_service(index)
+        vertices = index.vertex_labels[:3]
+        lines = [
+            json.dumps({"id": 1, "op": "max_score", "vertices": vertices}).encode()
+            + b"\n",
+            b"garbage\n",
+            b"\n",  # blank lines are skipped, not answered
+            json.dumps({"id": 2, "op": "ping"}).encode() + b"\n",
+        ]
+        responses = asyncio.run(tcp_session(service, lines))
+        by_id = {r["id"]: r for r in responses}
+        engine = NucleusQueryEngine(index)
+        assert by_id[1]["result"] == [engine.max_score(v) for v in vertices]
+        assert by_id[2]["result"] == "pong"
+        assert not by_id[None]["ok"]
+        assert by_id[None]["error"]["type"] == "MalformedRequestError"
+
+    def test_pipelined_requests_all_answered(self, index):
+        service = make_service(index)
+        lines = [
+            json.dumps(
+                {"id": i, "op": "max_score", "vertices": [index.vertex_labels[i]]}
+            ).encode()
+            + b"\n"
+            for i in range(20)
+        ]
+        responses = asyncio.run(tcp_session(service, lines))
+        assert sorted(r["id"] for r in responses) == list(range(20))
+        assert all(r["ok"] for r in responses)
+
+    def test_fastapi_adapter_is_import_guarded(self, index):
+        from repro.serve import create_fastapi_app, fastapi_available
+
+        service = make_service(index)
+        if fastapi_available():  # pragma: no cover - not installed in CI
+            assert create_fastapi_app(service) is not None
+        else:
+            with pytest.raises(Exception, match="fastapi"):
+                create_fastapi_app(service)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestServeCli:
+    def test_missing_index_is_typed_one_line_error(self, tmp_path, capsys):
+        assert serve_main([str(tmp_path / "nope.idx.npz")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-serve: error: ")
+        assert err.count("\n") == 1
+
+    def test_corrupt_index_is_typed_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx.npz"
+        bad.write_bytes(b"junk")
+        assert serve_main([str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro-serve: error: IndexFormatError:" in err
+
+    def test_bad_batching_flags_are_typed_errors(self, index_path, capsys):
+        assert serve_main([str(index_path), "--max-batch", "0"]) == 2
+        assert "InvalidParameterError" in capsys.readouterr().err
+
+    def test_subprocess_serves_queries(self, index_path, index):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.cli", str(index_path), "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            ready = process.stdout.readline()
+            assert "serving" in ready, ready
+            port = int(ready.split(" on ")[1].split()[0].rsplit(":", 1)[1])
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                request = {"id": 0, "op": "max_score", "vertices": index.vertex_labels[:2]}
+                sock.sendall(json.dumps(request).encode() + b"\n")
+                with sock.makefile("rb") as stream:
+                    response = json.loads(stream.readline())
+            engine = NucleusQueryEngine(index)
+            assert response["ok"]
+            assert response["result"] == [
+                engine.max_score(v) for v in index.vertex_labels[:2]
+            ]
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+    def test_subprocess_error_exit_code(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serve.cli", str(tmp_path / "missing.npz")],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert result.returncode == 2
+        assert result.stderr.startswith("repro-serve: error: ")
+
+
+# --------------------------------------------------------------------------- #
+# mmap loads
+# --------------------------------------------------------------------------- #
+class TestMmapLoad:
+    def test_uncompressed_archive_is_memory_mapped(self, index, tmp_path):
+        path = tmp_path / "plain.idx.npz"
+        index.save(path, compress=False)
+        mapped = NucleusIndex.load(path, mmap=True)
+        assert mapped.mmapped
+
+        def backing(array):
+            while array.base is not None and not isinstance(array, np.memmap):
+                array = array.base
+            return array
+
+        # The arrays are views over file-backed memmaps, not copies.
+        assert any(
+            isinstance(backing(array), np.memmap)
+            for array in mapped.arrays.values()
+        )
+
+    def test_compressed_archive_falls_back_to_eager(self, index, tmp_path):
+        path = tmp_path / "compressed.idx.npz"
+        index.save(path)  # compress=True default
+        mapped = NucleusIndex.load(path, mmap=True)
+        assert not mapped.mmapped  # silent, correct fallback
+
+    def test_mmap_parity_with_eager_load(self, index, tmp_path):
+        path = tmp_path / "parity.idx.npz"
+        index.save(path, compress=False)
+        mapped = NucleusIndex.load(path, mmap=True)
+        eager = NucleusIndex.load(path)
+        assert mapped.header == eager.header
+        for name in eager.arrays:
+            assert np.array_equal(mapped.arrays[name], eager.arrays[name]), name
+
+    def test_mmap_engine_answers_match_eager(self, index, tmp_path):
+        path = tmp_path / "answers.idx.npz"
+        index.save(path, compress=False)
+        mapped_engine = NucleusQueryEngine(NucleusIndex.load(path, mmap=True))
+        eager_engine = NucleusQueryEngine(NucleusIndex.load(path))
+        vertices = index.vertex_labels
+        assert np.array_equal(
+            mapped_engine.max_score(vertices), eager_engine.max_score(vertices)
+        )
+        k = max(index.levels)
+        assert np.array_equal(
+            mapped_engine.smallest_nucleus(vertices, k),
+            eager_engine.smallest_nucleus(vertices, k),
+        )
