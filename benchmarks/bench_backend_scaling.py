@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 try:
@@ -26,6 +25,7 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
 from repro.core.hybrid import HybridEstimator
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
 from repro.graph.generators import power_law_cluster_graph
+from repro.obs.timing import timer
 
 #: Power-law scaling sweep: (label, num_vertices, attachment).
 SCALING_SWEEP = {
@@ -39,9 +39,9 @@ SCALING_SWEEP = {
 
 
 def _timed(function, *args, **kwargs):
-    start = time.perf_counter()
-    result = function(*args, **kwargs)
-    return result, time.perf_counter() - start
+    with timer() as t:
+        result = function(*args, **kwargs)
+    return result, t.seconds
 
 
 def compare_backends(graph, theta: float, estimator_factory=None):

@@ -28,7 +28,6 @@ import json
 import platform
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 try:
@@ -36,6 +35,8 @@ try:
 except ImportError:  # standalone invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     from repro.experiments.pipeline import RunConfig, run_pipeline
+
+from repro.obs.timing import timer
 
 DEFAULT_JSON = "BENCH_experiment_pipeline.json"
 
@@ -51,9 +52,9 @@ SUITE: dict[str, dict] = {
 
 def _run_suite(config: RunConfig) -> tuple[float, dict]:
     """Run the suite under ``config``; return (wall seconds, per-spec stats)."""
-    start = time.perf_counter()
-    runs = run_pipeline(list(SUITE), config, SUITE)
-    seconds = time.perf_counter() - start
+    with timer() as t:
+        runs = run_pipeline(list(SUITE), config, SUITE)
+    seconds = t.seconds
     stats = {
         name: {
             "rows": len(run.rows),

@@ -28,7 +28,6 @@ import json
 import math
 import platform
 import sys
-import time
 from pathlib import Path
 
 try:
@@ -40,6 +39,7 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
 from repro.core.local import local_nucleus_decomposition
 from repro.core.weak_nucleus import weak_nucleus_decomposition
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.obs.timing import timer
 
 DEFAULT_JSON = "BENCH_global_sampling.json"
 
@@ -48,9 +48,9 @@ DEFAULT_N_WORLDS = 200
 
 
 def _timed(function, *args, **kwargs):
-    start = time.perf_counter()
-    result = function(*args, **kwargs)
-    return result, time.perf_counter() - start
+    with timer() as t:
+        result = function(*args, **kwargs)
+    return result, t.seconds
 
 
 def compare_sampling_backends(

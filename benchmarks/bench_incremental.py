@@ -43,7 +43,6 @@ import math
 import platform
 import random
 import sys
-import time
 from pathlib import Path
 
 try:
@@ -54,6 +53,7 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
 
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
 from repro.index.incremental import EdgeUpdate, apply_updates
+from repro.obs.timing import timer
 
 DEFAULT_JSON = "BENCH_incremental.json"
 DEFAULT_DATASETS = ("pokec", "ljournal")
@@ -113,17 +113,17 @@ def _bench_dataset(
     labels = sorted(graph.vertices(), key=repr)
     edges = {tuple(sorted((u, v), key=repr)): p for u, v, p in graph.edges()}
 
-    build_start = time.perf_counter()
-    index = build_local_index(graph, theta, backend="csr")
-    build_seconds = time.perf_counter() - build_start
+    with timer() as build_timer:
+        index = build_local_index(graph, theta, backend="csr")
+    build_seconds = build_timer.seconds
 
     # Warm-up update: the first apply_updates assembles the incremental
     # state (triangle/4-clique incidence) from the snapshot — a one-time
     # cost equal in kind to what every rebuild pays.  Timed separately.
     warm = _single_edge_update(edges, labels, rng, step=0)
-    warm_start = time.perf_counter()
-    index = apply_updates(index, [warm])
-    warmup_seconds = time.perf_counter() - warm_start
+    with timer() as warm_timer:
+        index = apply_updates(index, [warm])
+    warmup_seconds = warm_timer.seconds
 
     updates = []
     incremental_total = 0.0
@@ -133,16 +133,16 @@ def _bench_dataset(
     for step in range(1, num_updates + 1):
         update = _single_edge_update(edges, labels, rng, step)
 
-        start = time.perf_counter()
-        index = apply_updates(index, [update])
-        incremental_seconds = time.perf_counter() - start
+        with timer() as incremental_timer:
+            index = apply_updates(index, [update])
+        incremental_seconds = incremental_timer.seconds
 
         updated = ProbabilisticGraph([(u, v, p) for (u, v), p in edges.items()])
         for label in labels:  # the vertex set is fixed under edge updates
             updated.add_vertex(label)
-        start = time.perf_counter()
-        rebuilt = build_local_index(updated, theta, backend="csr")
-        rebuild_seconds = time.perf_counter() - start
+        with timer() as rebuild_timer:
+            rebuilt = build_local_index(updated, theta, backend="csr")
+        rebuild_seconds = rebuild_timer.seconds
 
         _assert_parity(index, rebuilt, dataset, step)
         updates.append(

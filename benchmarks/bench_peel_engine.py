@@ -10,10 +10,15 @@ loop.  This benchmark preserves that legacy path verbatim
 translation only for the final score dictionary) on every bundled dataset
 analogue.  Both sides must return identical scores (asserted).
 
+The benchmark also pins the cost of the observability layer: every dataset
+is peeled once more with telemetry enabled (``REPRO_OBS`` spans + counters)
+and the enabled/disabled ratio is reported as ``obs_overhead``.
+
 Results are printed as a table and written to ``BENCH_peel_engine.json``;
-CI's ``bench-smoke`` job runs this with ``--min-speedup 1.5``: the engine
-must beat the legacy CSR path by at least 1.5x on every bundled dataset.
-Standalone usage::
+CI's ``bench-smoke`` job runs this with ``--min-speedup 1.5`` (the engine
+must beat the legacy CSR path by at least 1.5x on every bundled dataset)
+and ``--max-obs-overhead 1.03`` (instrumentation may cost at most 3%
+geomean over the uninstrumented engine).  Standalone usage::
 
     python benchmarks/bench_peel_engine.py --scale small --theta 0.3
 """
@@ -25,7 +30,6 @@ import json
 import math
 import platform
 import sys
-import time
 from pathlib import Path
 
 try:
@@ -41,6 +45,8 @@ from repro.core.local import _csr_engine_arrays, _label_space_scores, _TriangleS
 from repro.deterministic.cliques import canonical_four_clique, canonical_triangle
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
 from repro.graph.csr import CSRProbabilisticGraph
+from repro.obs import capture as obs_capture
+from repro.obs import timer
 
 DEFAULT_JSON = "BENCH_peel_engine.json"
 DEFAULT_THETA = 0.3
@@ -96,14 +102,24 @@ def engine_csr_scores(csr: CSRProbabilisticGraph, theta: float, estimator) -> di
     return _label_space_scores(csr, index, scores)
 
 
-def _best_of(function, *args, repeats: int = 3):
-    """Return ``(result, seconds)`` for the fastest of ``repeats`` runs."""
+def _best_of(function, *args, repeats: int = 3, instrumented: bool = False):
+    """Return ``(result, seconds)`` for the fastest of ``repeats`` runs.
+
+    ``instrumented=True`` runs each repeat with telemetry switched on (a
+    private capture sink per repeat), which is how the obs-overhead ratio is
+    measured against the default disabled-mode timing.
+    """
     best = math.inf
     result = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = function(*args)
-        best = min(best, time.perf_counter() - start)
+        if instrumented:
+            with obs_capture(enable=True):
+                with timer() as t:
+                    result = function(*args)
+        else:
+            with timer() as t:
+                result = function(*args)
+        best = min(best, t.seconds)
     return result, best
 
 
@@ -124,7 +140,12 @@ def run_peel_engine(
         engine, engine_seconds = _best_of(
             engine_csr_scores, csr, theta, factory(), repeats=repeats
         )
+        obs_engine, obs_seconds = _best_of(
+            engine_csr_scores, csr, theta, factory(), repeats=repeats,
+            instrumented=True,
+        )
         assert engine == legacy, f"peel engine diverged from legacy path on {name}"
+        assert obs_engine == legacy, f"instrumented peel diverged on {name}"
         rows.append(
             {
                 "dataset": name,
@@ -132,9 +153,12 @@ def run_peel_engine(
                 "legacy_seconds": legacy_seconds,
                 "engine_seconds": engine_seconds,
                 "speedup": legacy_seconds / engine_seconds,
+                "obs_seconds": obs_seconds,
+                "obs_overhead": obs_seconds / engine_seconds,
             }
         )
     speedups = [row["speedup"] for row in rows]
+    overheads = [row["obs_overhead"] for row in rows]
     return {
         "benchmark": "peel_engine",
         "scale": scale,
@@ -149,6 +173,9 @@ def run_peel_engine(
             "geomean_speedup": math.exp(
                 sum(math.log(s) for s in speedups) / len(speedups)
             ),
+            "geomean_obs_overhead": math.exp(
+                sum(math.log(o) for o in overheads) / len(overheads)
+            ),
         },
     }
 
@@ -158,14 +185,15 @@ def format_peel_engine(report: dict) -> str:
         f"scale={report['scale']} theta={report['theta']} "
         f"estimator={report['estimator']}",
         f"{'dataset':<12} {'triangles':>9} {'legacy (s)':>11} "
-        f"{'engine (s)':>11} {'speedup':>8}",
-        "-" * 56,
+        f"{'engine (s)':>11} {'speedup':>8} {'obs (s)':>9} {'ovh':>6}",
+        "-" * 73,
     ]
     for row in report["rows"]:
         lines.append(
             f"{row['dataset']:<12} {row['triangles']:>9} "
             f"{row['legacy_seconds']:>11.4f} {row['engine_seconds']:>11.4f} "
-            f"{row['speedup']:>7.2f}x"
+            f"{row['speedup']:>7.2f}x "
+            f"{row['obs_seconds']:>9.4f} {row['obs_overhead']:>5.2f}x"
         )
     return "\n".join(lines)
 
@@ -201,6 +229,14 @@ def main(argv=None) -> int:
         help="exit non-zero unless the engine beats the legacy CSR path by at "
         "least X on every dataset (CI acceptance gate)",
     )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the geomean instrumented/uninstrumented "
+        "peel ratio stays at or below X (CI acceptance gate)",
+    )
     args = parser.parse_args(argv)
 
     report = run_peel_engine(
@@ -215,7 +251,9 @@ def main(argv=None) -> int:
     print(
         f"\nmin speedup {summary['min_speedup']:.2f}x · "
         f"geomean {summary['geomean_speedup']:.2f}x · "
-        f"max {summary['max_speedup']:.2f}x · report -> {args.json}"
+        f"max {summary['max_speedup']:.2f}x · "
+        f"obs overhead {summary['geomean_obs_overhead']:.3f}x · "
+        f"report -> {args.json}"
     )
 
     if args.min_speedup is not None:
@@ -228,6 +266,15 @@ def main(argv=None) -> int:
                     f"{args.min_speedup:.2f}x",
                     file=sys.stderr,
                 )
+            return 1
+    if args.max_obs_overhead is not None:
+        overhead = summary["geomean_obs_overhead"]
+        if overhead > args.max_obs_overhead:
+            print(
+                f"GATE FAILURE: geomean obs overhead {overhead:.3f}x exceeds "
+                f"the allowed {args.max_obs_overhead:.3f}x",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

@@ -32,7 +32,6 @@ import json
 import math
 import platform
 import sys
-import time
 from pathlib import Path
 
 try:
@@ -45,6 +44,7 @@ from repro.experiments.datasets import DATASET_NAMES, load_dataset
 from repro.index import build_local_index
 from repro.metrics.density import probabilistic_density
 from repro.query import NucleusQueryEngine
+from repro.obs.timing import timer
 
 DEFAULT_JSON = "BENCH_query_engine.json"
 DEFAULT_DATASET = "krogan"
@@ -52,9 +52,9 @@ DEFAULT_THETA = 0.3
 
 
 def _timed(function, *args, **kwargs):
-    start = time.perf_counter()
-    result = function(*args, **kwargs)
-    return result, time.perf_counter() - start
+    with timer() as t:
+        result = function(*args, **kwargs)
+    return result, t.seconds
 
 
 def _recompute_max_scores(graph, theta, vertices):
@@ -100,9 +100,9 @@ def run_query_engine(
     graph = load_dataset(dataset, scale=scale)
     vertices = sorted(graph.vertices())
 
-    build_start = time.perf_counter()
-    index = build_local_index(graph, theta)
-    build_seconds = time.perf_counter() - build_start
+    with timer() as build_timer:
+        index = build_local_index(graph, theta)
+    build_seconds = build_timer.seconds
     engine = NucleusQueryEngine(index)
 
     k = max(index.levels, default=0)

@@ -35,7 +35,6 @@ import json
 import platform
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 try:
@@ -46,6 +45,7 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
 
 from repro.experiments.datasets import DATASET_NAMES, load_dataset
 from repro.serve import BatchingConfig, QueryService
+from repro.obs.timing import timer
 
 DEFAULT_JSON = "BENCH_query_service.json"
 DEFAULT_DATASET = "krogan"
@@ -87,16 +87,16 @@ async def _drive(service: QueryService, workload: list[list[dict]]) -> dict:
     async def client(requests: list[dict]) -> list:
         results = []
         for request in requests:
-            start = time.perf_counter()
-            response = await service.submit(dict(request))
-            latencies.append(time.perf_counter() - start)
+            with timer() as t:
+                response = await service.submit(dict(request))
+            latencies.append(t.seconds)
             assert response["ok"], response
             results.append((request["op"], response["result"]))
         return results
 
-    wall_start = time.perf_counter()
-    answers = await asyncio.gather(*[client(requests) for requests in workload])
-    wall_seconds = time.perf_counter() - wall_start
+    with timer() as wall_timer:
+        answers = await asyncio.gather(*[client(requests) for requests in workload])
+    wall_seconds = wall_timer.seconds
 
     latencies.sort()
     total = len(latencies)

@@ -21,9 +21,12 @@ the five facade entry points —
   query serving (see :mod:`repro.serve` and ``repro-serve``).
 
 — plus the graph substrate, decomposition entry points, estimators, and
-baselines re-exported below.  Everything else (submodule internals) may
-change between minor versions; ``__api_version__`` names the facade
-contract and only changes when that surface breaks.
+baselines re-exported below, and the observability layer ``repro.obs``
+(``repro.obs.snapshot()`` / ``repro.obs.render_prometheus()`` — off by
+default, enabled with ``REPRO_OBS=1``; see ``docs/OBSERVABILITY.md``).
+Everything else (submodule internals) may change between minor versions;
+``__api_version__`` names the facade contract and only changes when that
+surface breaks.
 
 Quickstart
 ----------
@@ -82,6 +85,10 @@ from repro.query import NucleusQueryEngine
 # query, ``repro.serve(...)`` constructs a QueryService).
 import repro.query  # noqa: E402
 import repro.serve  # noqa: E402
+
+# The observability layer is part of the facade: ``repro.obs.snapshot()``
+# and ``repro.obs.render_prometheus()`` are the stable telemetry read APIs.
+import repro.obs  # noqa: E402
 
 __version__ = "1.1.0"
 
@@ -164,6 +171,8 @@ __all__ = [
     "NucleusIndex",
     "NucleusQueryEngine",
     "graph_fingerprint",
+    # observability layer (repro.obs.snapshot / render_prometheus / span)
+    "obs",
     # errors
     "ReproError",
     "InvalidParameterError",

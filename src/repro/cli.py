@@ -77,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--k", type=int, default=None, help="restrict to one level")
     top.add_argument("--n", type=int, default=5)
     top.add_argument("--by", choices=RANK_KEYS, default="density")
+    for op_parser in (max_score, nucleus, top):
+        op_parser.add_argument(
+            "--cache-stats",
+            action="store_true",
+            help="print the engine's query-cache counters after answering",
+        )
     return parser
 
 
@@ -99,6 +105,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     index = NucleusIndex.load(args.index)
     description = index.describe()
+    # Surface the query-cache counters alongside the header: a fresh engine
+    # shows the cache's capacity and zeroed hit/miss/eviction counts — the
+    # same block ``repro-index query --cache-stats`` prints after real use.
+    description["cache"] = NucleusQueryEngine(index).cache_info()
     if args.json:
         print(json.dumps(description, indent=2, sort_keys=True))
     else:
@@ -113,10 +123,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "num_triangles",
             "levels",
             "num_components",
-            "params",
         ):
             print(f"{field}: {description[field]}")
+        print(f"params: {description['params']}")
+        print(f"cache: {_format_cache_stats(description['cache'])}")
     return 0
+
+
+def _format_cache_stats(stats: dict) -> str:
+    return (
+        f"size={stats['size']}/{stats['maxsize']} "
+        f"hits={stats['hits']} misses={stats['misses']} "
+        f"evictions={stats['evictions']} hit_rate={stats['hit_rate']:.3f}"
+    )
 
 
 def _format_vertices(nucleus) -> str:
@@ -144,6 +163,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"vertices={nucleus.num_vertices} edges={nucleus.num_edges} "
                 f"triangles={len(nucleus.triangles)}"
             )
+    if args.cache_stats:
+        print(f"cache: {_format_cache_stats(engine.cache_info())}")
     return 0
 
 

@@ -48,6 +48,9 @@ from repro.core.approximations import DynamicProgrammingEstimator, SupportEstima
 from repro.core.batch import CSRTriangleIndex
 from repro.core.support_dp import NO_VALID_K
 from repro.exceptions import InvalidParameterError
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
+from repro.obs.spans import span
 from repro.peeling import LazyMinHeap
 
 __all__ = [
@@ -294,6 +297,7 @@ def repair_kappa_scores(
             for m in clique_members[pair_cliques[p]]:
                 enqueue(m)
 
+    fixed_point_repairs = 0
     while work:
         t = work.popleft()
         in_queue[t] = False
@@ -310,6 +314,7 @@ def repair_kappa_scores(
                         break
                 else:
                     survivors.append(ext[p])
+            fixed_point_repairs += 1
             result = recompute(t, survivors)
             if result >= k:
                 break
@@ -326,6 +331,16 @@ def repair_kappa_scores(
                         enqueue(m)
 
     scores[:] = nu
+    if obs_config._ENABLED:
+        counter = obs_registry.counter
+        counter(
+            "repro_peel_localized_seeds_total",
+            "Seed rows handed to repair_kappa_scores (incremental repairs).",
+        ).inc(int(seeds.size))
+        counter(
+            "repro_peel_localized_repairs_total",
+            "Repair-hook invocations during localized (incremental) repair.",
+        ).inc(len(kappa_init) + fixed_point_repairs)
     return scores
 
 
@@ -335,6 +350,47 @@ def peel_kappa_scores(
     repair: KappaRepair,
 ) -> np.ndarray:
     """Peel every triangle of ``index`` and return its nucleus score ν.
+
+    When observability is on (``REPRO_OBS``), the run is wrapped in a
+    ``"peel"`` span and feeds the ``repro_peel_*`` counters — queue pops,
+    repair-hook invocations, and unit-drop lazy-bound deferrals — with the
+    counts accumulated in loop-local integers so the disabled-mode overhead
+    stays within the CI-gated 3% of the uninstrumented loop (see
+    ``docs/OBSERVABILITY.md``).
+    """
+    with span(
+        "peel",
+        triangles=index.num_triangles,
+        repair=repair.name,
+        queue="bucket" if repair.unit_drop else "heap",
+    ):
+        return _peel_kappa_scores(index, initial_kappas, repair)
+
+
+def _record_peel_metrics(repair: KappaRepair, pops: int, repairs: int, deferrals: int) -> None:
+    """Fold one peel run's loop-local counts into the metrics registry."""
+    counter = obs_registry.counter
+    counter(
+        "repro_peel_pops_total",
+        "Triangles popped from the peel queue (bucket or lazy heap).",
+    ).inc(pops)
+    counter(
+        "repro_peel_repairs_total",
+        "Repair-hook (KappaRepair.recompute) invocations during peeling.",
+        repair=repair.name,
+    ).inc(repairs)
+    counter(
+        "repro_peel_deferrals_total",
+        "Unit-drop bucket steps taken in place of an eager exact repair.",
+    ).inc(deferrals)
+
+
+def _peel_kappa_scores(
+    index: CSRTriangleIndex,
+    initial_kappas: np.ndarray,
+    repair: KappaRepair,
+) -> np.ndarray:
+    """The peel loop itself (see :func:`peel_kappa_scores`).
 
     Runs Algorithm 1's loop entirely over the flat incidence arrays of
     ``index``: triangles are integer rows, 4-cliques are integer rows, and
@@ -397,6 +453,8 @@ def peel_kappa_scores(
     out: list[int] = [NO_VALID_K] * num_triangles
     recompute = repair.recompute
 
+    repairs = 0
+
     if not repair.unit_drop:
         # --- lazy min-heap: replay the reference trajectory exactly ------- #
         heap = LazyMinHeap((kappa[t], t) for t in range(num_triangles))
@@ -422,12 +480,15 @@ def peel_kappa_scores(
                     if m == t or processed[m]:
                         continue
                     if kappa[m] > level:
+                        repairs += 1
                         new = recompute(m, surviving_of(m))
                         if new < level:
                             new = level
                         kappa[m] = new
                         heap.push(new, m)
         scores[:] = out
+        if obs_config._ENABLED:
+            _record_peel_metrics(repair, num_triangles, repairs, 0)
         return scores
 
     # --- bucket queue ----------------------------------------------------- #
@@ -474,6 +535,7 @@ def peel_kappa_scores(
                 bucket_start[b] = last
 
     level = NO_VALID_K
+    deferrals = 0
     dirty = [False] * num_triangles
     for i in range(num_triangles):
         # The queue holds lower bounds; settle the front before peeling: a
@@ -483,6 +545,7 @@ def peel_kappa_scores(
         t = order[i]
         while dirty[t]:
             dirty[t] = False
+            repairs += 1
             exact = recompute(t, surviving_of(t))
             if exact < level:
                 exact = level
@@ -510,9 +573,12 @@ def peel_kappa_scores(
                 old = kappa[m]
                 if old <= level:
                     continue
+                deferrals += 1
                 move(m, old, old - 1)
                 kappa[m] = old - 1
                 dirty[m] = True
 
     scores[:] = out
+    if obs_config._ENABLED:
+        _record_peel_metrics(repair, num_triangles, repairs, deferrals)
     return scores

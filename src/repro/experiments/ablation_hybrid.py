@@ -16,7 +16,6 @@ shows how much work escapes to the DP fallback.  Because the reported times
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -39,6 +38,7 @@ from repro.experiments.pipeline import (
     run_spec_rows,
 )
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.obs.timing import timer
 
 __all__ = ["SPEC", "AblationHybridRow", "run_ablation_hybrid", "format_ablation_hybrid"]
 
@@ -107,22 +107,22 @@ def _run_cell(
         else _default_estimators()
     )
 
-    start = time.perf_counter()
-    exact = local_nucleus_decomposition(
-        graph, theta, estimator=DynamicProgrammingEstimator(), backend=config.backend
-    )
-    dp_seconds = time.perf_counter() - start
+    with timer() as dp_timer:
+        exact = local_nucleus_decomposition(
+            graph, theta, estimator=DynamicProgrammingEstimator(), backend=config.backend
+        )
+    dp_seconds = dp_timer.seconds
 
     rows: list[AblationHybridRow] = []
     for estimator in estimators:
         if isinstance(estimator, DynamicProgrammingEstimator):
             seconds, result = dp_seconds, exact
         else:
-            start = time.perf_counter()
-            result = local_nucleus_decomposition(
-                graph, theta, estimator=estimator, backend=config.backend
-            )
-            seconds = time.perf_counter() - start
+            with timer() as t:
+                result = local_nucleus_decomposition(
+                    graph, theta, estimator=estimator, backend=config.backend
+                )
+            seconds = t.seconds
         total = len(exact.scores)
         errors = [
             abs(exact.scores[t] - result.scores.get(t, exact.scores[t]))

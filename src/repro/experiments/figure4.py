@@ -16,7 +16,6 @@ cache — every timing is a fresh run on the configured backend.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -32,6 +31,7 @@ from repro.experiments.pipeline import (
     run_spec_rows,
 )
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.obs.timing import timer
 
 __all__ = ["SPEC", "Figure4Row", "run_figure4", "format_figure4", "DEFAULT_THETAS"]
 
@@ -71,10 +71,11 @@ COLUMNS = (
 def _time_decomposition(
     graph: ProbabilisticGraph, theta: float, estimator, backend: str
 ) -> tuple[float, int]:
-    start = time.perf_counter()
-    result = local_nucleus_decomposition(graph, theta, estimator=estimator, backend=backend)
-    elapsed = time.perf_counter() - start
-    return elapsed, result.max_score
+    with timer() as t:
+        result = local_nucleus_decomposition(
+            graph, theta, estimator=estimator, backend=backend
+        )
+    return t.seconds, result.max_score
 
 
 def _grid(config: RunConfig, overrides: dict) -> list[dict]:

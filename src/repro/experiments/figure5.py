@@ -17,7 +17,6 @@ pipeline's decomposition cache.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -31,6 +30,7 @@ from repro.experiments.pipeline import (
     RunConfig,
     run_spec_rows,
 )
+from repro.obs.timing import timer
 
 __all__ = ["SPEC", "Figure5Row", "run_figure5", "format_figure5"]
 
@@ -81,19 +81,19 @@ def _run_cell(
     )
     k = max(1, local.max_score)
 
-    start = time.perf_counter()
-    fg = global_nucleus_decomposition(
-        graph, k=k, theta=theta, n_samples=n_samples,
-        local_result=local, seed=seed, backend=config.backend,
-    )
-    fg_seconds = time.perf_counter() - start
+    with timer() as fg_timer:
+        fg = global_nucleus_decomposition(
+            graph, k=k, theta=theta, n_samples=n_samples,
+            local_result=local, seed=seed, backend=config.backend,
+        )
+    fg_seconds = fg_timer.seconds
 
-    start = time.perf_counter()
-    wg = weak_nucleus_decomposition(
-        graph, k=k, theta=theta, n_samples=n_samples,
-        local_result=local, seed=seed, backend=config.backend,
-    )
-    wg_seconds = time.perf_counter() - start
+    with timer() as wg_timer:
+        wg = weak_nucleus_decomposition(
+            graph, k=k, theta=theta, n_samples=n_samples,
+            local_result=local, seed=seed, backend=config.backend,
+        )
+    wg_seconds = wg_timer.seconds
 
     return [
         Figure5Row(

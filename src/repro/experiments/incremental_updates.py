@@ -25,7 +25,6 @@ Timing rows vary run to run, so like Figure 4 the spec is ``cacheable=False``
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 
 from repro.experiments.datasets import load_dataset
@@ -39,6 +38,7 @@ from repro.experiments.pipeline import (
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.index.builders import build_local_index
 from repro.index.incremental import EdgeUpdate, apply_updates
+from repro.obs.timing import timer
 
 __all__ = [
     "SPEC",
@@ -162,16 +162,16 @@ def _run_cell(
         if not updates:
             continue
 
-        start = time.perf_counter()
-        index = apply_updates(index, updates)
-        incremental_seconds = time.perf_counter() - start
+        with timer() as incremental_timer:
+            index = apply_updates(index, updates)
+        incremental_seconds = incremental_timer.seconds
 
         updated = ProbabilisticGraph([(u, v, p) for (u, v), p in edges.items()])
         for label in labels:  # the vertex set is fixed under edge updates
             updated.add_vertex(label)
-        start = time.perf_counter()
-        rebuilt = build_local_index(updated, theta, backend=config.backend)
-        rebuild_seconds = time.perf_counter() - start
+        with timer() as rebuild_timer:
+            rebuilt = build_local_index(updated, theta, backend=config.backend)
+        rebuild_seconds = rebuild_timer.seconds
 
         parity = index.fingerprint == rebuilt.fingerprint and all(
             index.arrays[name].tobytes() == rebuilt.arrays[name].tobytes()

@@ -33,7 +33,6 @@ import dataclasses
 import json
 import os
 import subprocess
-import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -42,6 +41,12 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import InvalidParameterError
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
+from repro.obs.metrics import snapshot as obs_snapshot
+from repro.obs.spans import capture as obs_capture
+from repro.obs.spans import span
+from repro.obs.timing import timer
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -171,6 +176,11 @@ class CellResult:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_entries: tuple[str, ...] = ()
+    #: The cell's ``pipeline.cell`` span tree when observability was on.
+    trace: dict | None = None
+    #: The worker's per-cell metrics snapshot (pool execution only): the
+    #: registry is process-local, so the parent merges these back in.
+    obs: dict | None = None
 
 
 @dataclass
@@ -222,6 +232,7 @@ class ExperimentRun:
                     "seconds": cell.seconds,
                     "cache_hits": cell.cache_hits,
                     "cache_misses": cell.cache_misses,
+                    **({"trace": cell.trace} if cell.trace is not None else {}),
                 }
                 for cell in self.cells
             ],
@@ -234,6 +245,7 @@ class ExperimentRun:
                 "misses": self.cache_misses,
                 "entries": sorted(self.cache_entries),
             },
+            "obs": obs_snapshot(),
             "fingerprints": {
                 "git_commit": _git_commit(),
                 "datasets": self._dataset_fingerprints(),
@@ -484,15 +496,39 @@ def _is_registered(spec: ExperimentSpec) -> bool:
     return SPECS.get(spec.name) is spec
 
 
+def _timed_cell(spec, index: int, params: dict, config: RunConfig, cache):
+    """Run one grid cell under the shared timer; returns (rows, seconds, trace).
+
+    With observability on the cell runs inside a ``pipeline.cell`` span whose
+    finished tree (covering any nested peel/sampling/index spans) is captured
+    privately and folded into the cell's artifact record; with it off this is
+    just the timed ``run_cell`` call.
+    """
+    if not obs_config._ENABLED:
+        with timer() as t:
+            rows = spec.run_cell(params, config, cache)
+        return rows, t.seconds, None
+    with obs_capture() as sink:
+        with span("pipeline.cell", experiment=spec.name, cell=index):
+            with timer() as t:
+                rows = spec.run_cell(params, config, cache)
+    traces = sink.traces()
+    return rows, t.seconds, traces[-1] if traces else None
+
+
 def _cell_worker(spec_name: str, index: int, params: dict, config: RunConfig) -> CellResult:
-    """Execute one grid cell (entry point for pool workers and serial runs)."""
+    """Execute one grid cell (entry point for pool workers)."""
     from repro.experiments.registry import get_spec
 
     spec = get_spec(spec_name)
     cache = DecompositionCache(config.cache_dir, enabled=config.use_cache)
-    start = time.perf_counter()
-    rows = spec.run_cell(params, config, cache)
-    seconds = time.perf_counter() - start
+    telemetry = obs_config._ENABLED
+    if telemetry:
+        # Start from an empty worker registry so the snapshot returned to
+        # the parent is exactly this cell's delta (forked workers inherit
+        # the parent's counts; reused workers carry the previous cell's).
+        obs_registry.reset()
+    rows, seconds, trace = _timed_cell(spec, index, params, config, cache)
     return CellResult(
         index=index,
         params=params,
@@ -501,6 +537,8 @@ def _cell_worker(spec_name: str, index: int, params: dict, config: RunConfig) ->
         cache_hits=cache.hits,
         cache_misses=cache.misses,
         cache_entries=cache.touched_since(),
+        trace=trace,
+        obs=obs_snapshot() if telemetry else None,
     )
 
 
@@ -524,7 +562,10 @@ def run_spec(
     if config.grid_filter:
         grid = [params for params in grid if config.matches(params)]
 
-    start = time.perf_counter()
+    # Entered manually: the measured region ends mid-function, before the
+    # ExperimentRun is assembled, so a with-block would mis-scope it.
+    total_timer = timer()
+    total_timer.__enter__()
     parallel = (
         config.n_jobs > 1
         and len(grid) > 1
@@ -547,6 +588,13 @@ def run_spec(
         entries = tuple(
             sorted({key for cell in cells for key in cell.cache_entries})
         )
+        if obs_config._ENABLED:
+            # Worker registries die with the pool: fold their per-cell
+            # snapshots into the parent so the artifact's obs block covers
+            # parallel runs too.
+            for cell in cells:
+                if cell.obs is not None:
+                    obs_registry.merge_snapshot(cell.obs)
     else:
         own_cache = cache or DecompositionCache(
             config.cache_dir, enabled=config.use_cache
@@ -556,9 +604,7 @@ def run_spec(
         cells = []
         for index, params in enumerate(grid):
             cell_hits, cell_misses = own_cache.hits, own_cache.misses
-            cell_start = time.perf_counter()
-            rows = spec.run_cell(params, config, own_cache)
-            seconds = time.perf_counter() - cell_start
+            rows, seconds, trace = _timed_cell(spec, index, params, config, own_cache)
             cells.append(
                 CellResult(
                     index=index,
@@ -567,12 +613,14 @@ def run_spec(
                     seconds=seconds,
                     cache_hits=own_cache.hits - cell_hits,
                     cache_misses=own_cache.misses - cell_misses,
+                    trace=trace,
                 )
             )
         hits = own_cache.hits - hits_before
         misses = own_cache.misses - misses_before
         entries = own_cache.touched_since(touch_marker)
-    total_seconds = time.perf_counter() - start
+    total_timer.__exit__(None, None, None)
+    total_seconds = total_timer.seconds
 
     return ExperimentRun(
         spec=spec,

@@ -38,6 +38,10 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.index.nucleus_index import NucleusIndex
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
+from repro.obs.spans import span
+from repro.obs.timing import timer
 
 __all__ = [
     "build_index",
@@ -331,6 +335,24 @@ def build_index(
     ``"weak"``/``"weakly-global"`` require it.  Remaining keyword arguments
     are forwarded to the underlying decomposition entry point.
     """
+    with span("index.build", mode=mode, theta=theta), timer() as t:
+        index = _build_index(graph, mode, theta, k, **kwargs)
+    if obs_config._ENABLED:
+        obs_registry.histogram(
+            "repro_index_build_seconds",
+            "Wall-clock seconds per build_index call, labelled by mode.",
+            mode=mode,
+        ).observe(t.seconds)
+    return index
+
+
+def _build_index(
+    graph: ProbabilisticGraph | CSRProbabilisticGraph,
+    mode: str,
+    theta: float,
+    k: int | None,
+    **kwargs,
+) -> NucleusIndex:
     if mode == "local":
         return build_local_index(graph, theta, **kwargs)
     if mode in ("global", "weak", "weakly-global"):

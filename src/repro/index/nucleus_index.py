@@ -58,6 +58,10 @@ from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
 from repro.exceptions import IndexCompatibilityError, IndexFormatError, InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
+from repro.obs.spans import span
+from repro.obs.timing import timer
 from repro.index.fingerprint import graph_fingerprint, versioned_fingerprint
 
 __all__ = ["NucleusIndex", "FORMAT_NAME", "FORMAT_VERSION"]
@@ -793,7 +797,14 @@ class NucleusIndex:
         payload = {_HEADER_KEY: np.array(header_json)}
         payload.update(self.arrays)
         writer = np.savez_compressed if compress else np.savez
-        writer(path, **payload)
+        with span("index.save", compress=compress), timer() as t:
+            writer(path, **payload)
+        if obs_config._ENABLED:
+            obs_registry.histogram(
+                "repro_index_save_seconds",
+                "Wall-clock seconds writing an index archive.",
+                compress=compress,
+            ).observe(t.seconds)
         return path
 
     @classmethod
@@ -828,6 +839,29 @@ class NucleusIndex:
             If the file is not a readable index (corrupted archive, missing
             entries, bad header, unsupported version).
         """
+        with span("index.load", mmap=mmap), timer() as t:
+            index = cls._load(path, graph, mmap=mmap)
+        if obs_config._ENABLED:
+            obs_registry.counter(
+                "repro_index_loads_total",
+                "Index archives loaded, labelled by whether they mapped.",
+                mmap=index.mmapped,
+            ).inc()
+            obs_registry.histogram(
+                "repro_index_load_seconds",
+                "Wall-clock seconds loading an index archive.",
+                mmap=index.mmapped,
+            ).observe(t.seconds)
+        return index
+
+    @classmethod
+    def _load(
+        cls,
+        path: str | Path,
+        graph: ProbabilisticGraph | CSRProbabilisticGraph | None,
+        *,
+        mmap: bool,
+    ) -> "NucleusIndex":
         path = Path(path)
         try:
             with np.load(path, allow_pickle=False) as data:

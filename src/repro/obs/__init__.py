@@ -1,0 +1,80 @@
+"""repro.obs — the observability layer of the stack.
+
+A dependency-free telemetry subsystem every other layer reports through:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — process-local counters,
+  gauges, and fixed-exponential-bucket histograms, exported as a JSON
+  snapshot (:func:`snapshot`) or Prometheus text (:func:`render_prometheus`);
+* :class:`~repro.obs.spans.span` — nested phase timings collected into
+  trace trees and shipped to a pluggable sink (in-memory ring buffer or a
+  JSON-lines file);
+* :class:`~repro.obs.timing.timer` — the shared monotonic wall-clock helper
+  the experiment harness and benchmarks time with.
+
+Telemetry is **off by default** and costs nearly nothing while off; enable
+it with ``REPRO_OBS=1`` in the environment or
+``repro.obs.configure(enabled=True)`` in code.  ``REPRO_OBS_SINK=<path>``
+streams finished traces to a JSON-lines file.  The metric catalog, span
+naming scheme, and serve-time scraping endpoints are documented in
+``docs/OBSERVABILITY.md``.
+
+>>> import repro.obs as obs
+>>> obs.configure(enabled=True)
+True
+>>> with obs.capture() as sink:
+...     with obs.span("example", items=3):
+...         obs.REGISTRY.counter("example_events_total").inc()
+>>> sink.traces()[0]["name"]
+'example'
+>>> obs.configure(enabled=False)
+False
+"""
+
+from repro.obs.config import configure, enabled
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+    reset,
+    snapshot,
+)
+from repro.obs.spans import (
+    InMemorySink,
+    JsonlSink,
+    capture,
+    drain_traces,
+    recent_traces,
+    set_sink,
+    span,
+)
+from repro.obs.timing import timer
+
+__all__ = [
+    # switch
+    "configure",
+    "enabled",
+    # metrics
+    "DEFAULT_LATENCY_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "reset",
+    "snapshot",
+    # spans
+    "InMemorySink",
+    "JsonlSink",
+    "capture",
+    "drain_traces",
+    "recent_traces",
+    "set_sink",
+    "span",
+    # timing
+    "timer",
+]

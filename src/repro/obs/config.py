@@ -1,0 +1,49 @@
+"""The observability on/off switch shared by metrics and spans.
+
+Telemetry is **off by default** and costs nearly nothing while off: every
+instrumented call site checks :func:`enabled` (one module-global read) and
+returns before touching the registry, the clock, or any sink.  It turns on
+either from the environment — ``REPRO_OBS=1`` (also ``true``/``yes``/``on``,
+case-insensitive) read once at import — or programmatically via
+:func:`configure`, which always wins over the environment.
+
+``REPRO_OBS_SINK=<path>`` selects the JSON-lines trace sink at import time
+(see :mod:`repro.obs.spans`); without it finished traces go to an in-memory
+ring buffer.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["configure", "enabled"]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+
+
+#: The switch itself.  Hot call sites read this module attribute directly
+#: (``config._ENABLED``) so the disabled path is a dict lookup plus a jump.
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether telemetry (metrics recording and span collection) is on."""
+    return _ENABLED
+
+
+def configure(enabled: bool | None = None) -> bool:
+    """Flip the switch programmatically; returns the resulting state.
+
+    ``configure(enabled=True)`` turns telemetry on for the process,
+    ``configure(enabled=False)`` turns it off, ``configure()`` leaves it
+    unchanged (and just reports it).  The call overrides whatever
+    ``REPRO_OBS`` said at import.
+    """
+    global _ENABLED
+    if enabled is not None:
+        _ENABLED = bool(enabled)
+    return _ENABLED

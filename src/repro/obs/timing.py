@@ -1,0 +1,55 @@
+"""The shared wall-clock timer helper.
+
+Every ad-hoc ``start = time.time()`` / ``time.perf_counter()`` pair in the
+experiment harness and the benchmarks goes through this one helper instead,
+so the codebase times everything on the same monotonic clock::
+
+    with timer() as t:
+        work()
+    print(t.seconds)
+
+``timer`` is deliberately independent of the telemetry switch — it is a
+measurement primitive (benchmarks must keep timing with ``REPRO_OBS``
+off), not an instrument.  To *record* a duration, observe ``t.seconds``
+into a histogram or wrap the block in :class:`repro.obs.spans.span`.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["timer"]
+
+
+class timer:
+    """Context manager measuring elapsed monotonic wall-clock seconds.
+
+    While the block runs, :attr:`seconds` reads the running elapsed time;
+    after it exits, :attr:`seconds` is the final duration.
+
+    >>> with timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds > 0
+    True
+    """
+
+    __slots__ = ("_start", "_elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    @property
+    def seconds(self) -> float:
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return False

@@ -14,11 +14,23 @@ from collections import OrderedDict
 from typing import Any, Hashable
 
 from repro.exceptions import InvalidParameterError
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
 
 __all__ = ["LRUCache"]
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 _MISSING = object()
+
+# Process-wide obs counters aggregating over every LRUCache instance (the
+# per-instance integers remain the per-engine source of truth).  Looked up
+# per event rather than cached so a registry reset() cannot orphan them;
+# the lookup is a locked dict hit and only runs while telemetry is on.
+def _obs_inc(event: str) -> None:
+    obs_registry.counter(
+        f"repro_query_cache_{event}_total",
+        f"Query-cache {event} aggregated over every LRUCache instance.",
+    ).inc()
 
 
 class LRUCache:
@@ -49,9 +61,13 @@ class LRUCache:
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
+            if obs_config._ENABLED:
+                _obs_inc("misses")
             return default
         self._entries.move_to_end(key)
         self.hits += 1
+        if obs_config._ENABLED:
+            _obs_inc("hits")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -62,6 +78,8 @@ class LRUCache:
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if obs_config._ENABLED:
+                _obs_inc("evictions")
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
@@ -76,14 +94,21 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def stats(self) -> dict:
-        """Return ``{size, maxsize, hits, misses, evictions}``."""
+        """Return ``{size, maxsize, hits, misses, evictions, hit_rate}``."""
         return {
             "size": len(self._entries),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }
 
     def __repr__(self) -> str:

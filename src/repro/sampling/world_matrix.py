@@ -63,6 +63,10 @@ from repro.deterministic.connectivity import UnionFind
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
+from repro.obs.spans import span
+from repro.obs.timing import timer
 from repro.peeling import LazyMinHeap
 
 __all__ = [
@@ -119,7 +123,13 @@ def sample_world_matrix(
         raise InvalidParameterError(f"n_worlds must be positive, got {n_worlds}")
     generator = as_numpy_generator(rng, seed)
     probabilities = np.asarray(probabilities, dtype=np.float64)
-    return generator.random((n_worlds, probabilities.size)) < probabilities[None, :]
+    worlds = generator.random((n_worlds, probabilities.size)) < probabilities[None, :]
+    if obs_config._ENABLED:
+        obs_registry.counter(
+            "repro_sampling_worlds_total",
+            "Possible worlds drawn by the world-matrix sampler.",
+        ).inc(n_worlds)
+    return worlds
 
 
 @dataclass
@@ -442,6 +452,24 @@ def nucleus_world_mask(
     return mask
 
 
+def _instrumented_counts(model, impl, index, worlds, k) -> np.ndarray:
+    """Run one verification batch inside a ``sampling.verify`` span.
+
+    Records the batch's wall time into the per-model
+    ``repro_sampling_verify_seconds`` histogram; only reached while telemetry
+    is enabled (the disabled path calls the impl directly, untimed).
+    """
+    with span("sampling.verify", model=model, worlds=int(worlds.shape[0])):
+        with timer() as t:
+            counts = impl(index, worlds, k)
+    obs_registry.histogram(
+        "repro_sampling_verify_seconds",
+        "Wall-clock seconds per Monte-Carlo world-verification batch.",
+        model=model,
+    ).observe(t.seconds)
+    return counts
+
+
 def global_triangle_counts(
     index: CandidateWorldIndex,
     worlds: np.ndarray,
@@ -456,6 +484,14 @@ def global_triangle_counts(
     """
     if pool is not None:
         return pool.run(_global_counts_shard, index, worlds, k)
+    if obs_config._ENABLED:
+        return _instrumented_counts("global", _global_counts_impl, index, worlds, k)
+    return _global_counts_impl(index, worlds, k)
+
+
+def _global_counts_impl(
+    index: CandidateWorldIndex, worlds: np.ndarray, k: int
+) -> np.ndarray:
     presence = structure_presence(index, worlds)
     tri_present, _ = presence
     mask = nucleus_world_mask(index, worlds, k, presence=presence)
@@ -548,6 +584,14 @@ def weak_membership_counts(
         raise InvalidParameterError(f"k must be non-negative, got {k}")
     if pool is not None:
         return pool.run(_weak_counts_shard, index, worlds, k)
+    if obs_config._ENABLED:
+        return _instrumented_counts("weak", _weak_counts_impl, index, worlds, k)
+    return _weak_counts_impl(index, worlds, k)
+
+
+def _weak_counts_impl(
+    index: CandidateWorldIndex, worlds: np.ndarray, k: int
+) -> np.ndarray:
     tri_present, clique_present = structure_presence(index, worlds)
     counts = np.zeros(index.num_triangles, dtype=np.int64)
     if index.num_triangles == 0:
@@ -608,6 +652,13 @@ class WorldShardPool:
         n_shards = min(self.n_jobs, worlds.shape[0])
         if n_shards <= 1:
             return shard_function((index, worlds, k))
+        if obs_config._ENABLED:
+            # Workers are separate processes: their registries are invisible
+            # here, so the parent records the fan-out itself.
+            obs_registry.counter(
+                "repro_sampling_shards_total",
+                "World-matrix row blocks dispatched to shard-pool workers.",
+            ).inc(n_shards)
         blocks = np.array_split(worlds, n_shards, axis=0)
         partials = self._pool.map(shard_function, [(index, block, k) for block in blocks])
         return np.sum(partials, axis=0)

@@ -24,12 +24,18 @@ bucket still gets its answer and only the offender receives the error.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.exceptions import InvalidParameterError, ReproError
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
 
 __all__ = ["BatchingConfig", "MicroBatcher"]
+
+#: Exponential batch-size buckets 1, 2, 4, … 4096 for the flush histogram.
+_BATCH_SIZE_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(13))
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,8 @@ class BatchingConfig:
 class _Bucket:
     entries: list[tuple[dict, asyncio.Future]] = field(default_factory=list)
     timer: asyncio.TimerHandle | None = None
+    #: perf_counter at the first enqueue — the flush's linger measurement.
+    first_at: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatcher:
@@ -123,6 +131,16 @@ class MicroBatcher:
         self.batches_flushed += 1
         self.requests_batched += len(entries)
         self.largest_batch = max(self.largest_batch, len(entries))
+        if obs_config._ENABLED:
+            obs_registry.histogram(
+                "repro_serve_batch_size",
+                "Requests coalesced per micro-batch flush.",
+                buckets=_BATCH_SIZE_BUCKETS,
+            ).observe(len(entries))
+            obs_registry.histogram(
+                "repro_serve_linger_seconds",
+                "Seconds the first request of a bucket waited before its flush.",
+            ).observe(time.perf_counter() - bucket.first_at)
         if len(entries) == 1:
             # Nothing to coalesce: dispatch the lone request directly (with
             # ``max_batch=1`` this is every request — serial one-query-per-

@@ -22,6 +22,8 @@ import asyncio
 import sys
 
 from repro.exceptions import ReproError
+from repro.obs import config as obs_config
+from repro.obs.metrics import snapshot as obs_snapshot
 from repro.serve.batching import BatchingConfig
 from repro.serve.server import run_server
 from repro.serve.service import QueryService
@@ -71,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="seconds between reload-watcher polls (with --watch)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the observability layer (same as REPRO_OBS=1)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="print a one-line metrics summary every SECONDS (0 disables)",
+    )
     return parser
 
 
@@ -88,8 +102,79 @@ def _announce(service: QueryService):
     return on_ready
 
 
+def _request_latency_quantiles(q_list: list[float]) -> list[float | None]:
+    """Aggregate ``repro_serve_request_seconds`` across op labels.
+
+    Every serve-latency histogram shares the default bucket layout, so the
+    per-op cumulative bucket counts sum into one distribution and quantiles
+    read straight off the merged counts.  Returns ``None`` per quantile when
+    no request has been observed (or telemetry is off).
+    """
+    merged: dict[float, int] = {}
+    total = 0
+    for entry in obs_snapshot()["metrics"]:
+        if entry["name"] != "repro_serve_request_seconds":
+            continue
+        total += entry["count"]
+        for bound, cumulative in entry["buckets"]:
+            merged[bound] = merged.get(bound, 0) + cumulative
+    if total == 0:
+        return [None for _ in q_list]
+    bounds = sorted(merged)
+    results: list[float | None] = []
+    for q in q_list:
+        rank = q * total
+        value: float | None = bounds[-1]
+        for bound in bounds:
+            if merged[bound] >= rank:
+                value = bound
+                break
+        results.append(value)
+    return results
+
+
+async def _metrics_reporter(service: QueryService, interval: float) -> None:
+    """Print one summary line per ``interval`` seconds (``--metrics-interval``)."""
+    while True:
+        await asyncio.sleep(interval)
+        stats = service.stats()
+        line = (
+            f"metrics: requests={stats['requests']} errors={stats['errors']} "
+            f"reloads={stats['reloads']} "
+            f"cache_hit_rate={stats['cache']['hit_rate']:.3f} "
+            f"batches={stats['batching']['batches_flushed']}"
+        )
+        if obs_config.enabled():
+            p50, p99 = _request_latency_quantiles([0.50, 0.99])
+            if p50 is not None:
+                line += f" p50={p50:.6f}s p99={p99:.6f}s"
+        print(line, flush=True)
+
+
+async def _serve(service: QueryService, args: argparse.Namespace) -> None:
+    reporter = (
+        asyncio.ensure_future(_metrics_reporter(service, args.metrics_interval))
+        if args.metrics_interval > 0
+        else None
+    )
+    try:
+        await run_server(
+            service,
+            args.host,
+            args.port,
+            watch=args.watch,
+            poll_interval=args.poll_interval,
+            on_ready=_announce(service),
+        )
+    finally:
+        if reporter is not None:
+            reporter.cancel()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.obs:
+        obs_config.configure(enabled=True)
     try:
         service = QueryService(
             args.index,
@@ -99,16 +184,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_size=args.cache_size,
             mmap=not args.no_mmap,
         )
-        asyncio.run(
-            run_server(
-                service,
-                args.host,
-                args.port,
-                watch=args.watch,
-                poll_interval=args.poll_interval,
-                on_ready=_announce(service),
-            )
-        )
+        asyncio.run(_serve(service, args))
     except KeyboardInterrupt:
         return 0
     except (ReproError, OSError) as exc:

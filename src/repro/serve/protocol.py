@@ -38,6 +38,8 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import render_prometheus as obs_render_prometheus
+from repro.obs.metrics import snapshot as obs_snapshot
 from repro.query.engine import RANK_KEYS, NucleusQueryEngine
 
 __all__ = [
@@ -202,6 +204,26 @@ def _validate_empty(params: dict) -> dict:
     return {}
 
 
+def _validate_stats(params: dict) -> dict:
+    format = params.get("format", "json")
+    _require(format in ("json", "prometheus"), "'format' must be 'json' or 'prometheus'")
+    return {"format": format}
+
+
+def _run_stats(engine: NucleusQueryEngine, params: dict):
+    """Telemetry payload of the ``stats`` operation (engine-level part).
+
+    ``format="json"`` returns the metrics-registry snapshot plus the engine's
+    LRU cache counters; ``format="prometheus"`` returns the text exposition
+    as the result string (the empty string while telemetry is disabled).
+    :class:`repro.serve.service.QueryService` layers its service-level stats
+    (uptime, request totals, batching) on top of this for served requests.
+    """
+    if params["format"] == "prometheus":
+        return obs_render_prometheus()
+    return {"obs": obs_snapshot(), "cache": engine.cache_info()}
+
+
 def _run_info(engine: NucleusQueryEngine, params: dict) -> dict:
     index = engine.index
     description = index.describe()
@@ -263,6 +285,7 @@ OPERATIONS: dict[str, Operation] = {
         ),
         Operation(name="info", validate=_validate_empty, run=_run_info),
         Operation(name="ping", validate=_validate_empty, run=lambda engine, p: "pong"),
+        Operation(name="stats", validate=_validate_stats, run=_run_stats),
     )
 }
 

@@ -161,7 +161,12 @@ def fastapi_available() -> bool:
 
 
 def create_fastapi_app(service: QueryService):
-    """Build a FastAPI app over ``service`` (``POST /query``, ``GET /stats``).
+    """Build a FastAPI app over ``service``.
+
+    Routes: ``POST /query`` (the protocol), ``GET /stats`` (service
+    counters), and ``GET /metrics`` (the Prometheus text exposition of the
+    observability registry — empty until telemetry is enabled with
+    ``REPRO_OBS=1``, see ``docs/OBSERVABILITY.md``).
 
     FastAPI is an optional dependency; when it is not installed this raises
     :class:`~repro.exceptions.ReproError` with install guidance instead of an
@@ -174,6 +179,9 @@ def create_fastapi_app(service: QueryService):
             "extra dependencies"
         )
     from fastapi import FastAPI  # noqa: PLC0415 - optional dependency
+    from fastapi.responses import PlainTextResponse  # noqa: PLC0415
+
+    from repro.obs.metrics import render_prometheus  # noqa: PLC0415
 
     app = FastAPI(title="repro nucleus query service")
 
@@ -184,5 +192,9 @@ def create_fastapi_app(service: QueryService):
     @app.get("/stats")
     async def stats() -> dict:
         return service.stats()
+
+    @app.get("/metrics", response_class=PlainTextResponse)
+    async def metrics() -> str:
+        return render_prometheus()
 
     return app

@@ -40,6 +40,10 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.index.nucleus_index import NucleusIndex
+from repro.obs import config as obs_config
+from repro.obs.metrics import REGISTRY as obs_registry
+from repro.obs.metrics import render_prometheus as obs_render_prometheus
+from repro.obs.metrics import snapshot as obs_snapshot
 from repro.query.engine import NucleusQueryEngine
 from repro.serve.batching import BatchingConfig, MicroBatcher
 from repro.serve.protocol import OPERATIONS, error_payload, validate_request
@@ -116,10 +120,31 @@ class QueryService:
         current engine snapshot.
         """
         operation, clean = validate_request({"op": op, **params})
+        if operation.name == "stats":
+            return self.stats_payload(clean)
         if operation.batch_key is not None:
             result, _ = await self.batcher.submit(operation.batch_key(clean), clean)
             return result
         return operation.run(self.engine, clean)
+
+    def _record_request(self, op_name: str, started: float, *, error: bool) -> None:
+        """Fold one answered request into the serve-time metrics (enabled only)."""
+        obs_registry.counter(
+            "repro_serve_requests_total",
+            "Protocol requests answered, labelled by operation.",
+            op=op_name,
+        ).inc()
+        if error:
+            obs_registry.counter(
+                "repro_serve_errors_total",
+                "Protocol requests answered with ok=false, labelled by operation.",
+                op=op_name,
+            ).inc()
+        obs_registry.histogram(
+            "repro_serve_request_seconds",
+            "Wall-clock seconds from submit to response, labelled by operation.",
+            op=op_name,
+        ).observe(time.perf_counter() - started)
 
     async def submit(self, request: dict) -> dict:
         """Answer one protocol request object with a protocol response object.
@@ -130,9 +155,16 @@ class QueryService:
         """
         request_id = request.get("id") if isinstance(request, dict) else None
         self.requests += 1
+        telemetry = obs_config._ENABLED
+        started = time.perf_counter() if telemetry else 0.0
+        op_name = "invalid"
         try:
             operation, params = validate_request(request)
-            if operation.batch_key is not None:
+            op_name = operation.name
+            if operation.name == "stats":
+                index = self.index
+                result = self.stats_payload(params)
+            elif operation.batch_key is not None:
                 result, index = await self.batcher.submit(
                     operation.batch_key(params), params
                 )
@@ -141,7 +173,11 @@ class QueryService:
                 result = operation.run(self.engine, params)
         except ReproError as exc:
             self.errors += 1
+            if telemetry:
+                self._record_request(op_name, started, error=True)
             return {"id": request_id, "ok": False, "error": error_payload(exc)}
+        if telemetry:
+            self._record_request(op_name, started, error=False)
         return {
             "id": request_id,
             "ok": True,
@@ -175,6 +211,11 @@ class QueryService:
             )
         self.engine.refresh(index)
         self.reloads += 1
+        if obs_config._ENABLED:
+            obs_registry.counter(
+                "repro_serve_reloads_total",
+                "Hot reloads that swapped in a new index revision.",
+            ).inc()
         return True
 
     def reload_from(self, path: str | Path | None = None) -> bool:
@@ -213,6 +254,11 @@ class QueryService:
                     self.last_reload_error = (
                         f"{type(exc).__name__}: {str(exc).splitlines()[0]}"
                     )
+                    if obs_config._ENABLED:
+                        obs_registry.counter(
+                            "repro_serve_reload_failures_total",
+                            "Hot-reload attempts rejected or unreadable.",
+                        ).inc()
                 else:
                     last_signature = signature
             await asyncio.sleep(interval)
@@ -220,6 +266,20 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    def stats_payload(self, params: dict):
+        """Result of the ``stats`` operation when served by this service.
+
+        Layers the service-level counters (uptime, request totals, batching,
+        reloads) over the engine-level telemetry the bare protocol operation
+        returns: ``format="json"`` yields ``{"service": ..., "obs": ...}``
+        (the obs block is ``{"enabled": false, "metrics": []}`` while
+        telemetry is off); ``format="prometheus"`` yields the text exposition
+        string (empty while telemetry is off).
+        """
+        if params.get("format") == "prometheus":
+            return obs_render_prometheus()
+        return {"service": self.stats(), "obs": obs_snapshot()}
+
     def stats(self) -> dict:
         """Service counters (exposed by the server's ``stats`` responses)."""
         index = self.index

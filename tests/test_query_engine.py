@@ -327,6 +327,7 @@ class TestCache:
         cache.clear()
         assert len(cache) == 0 and cache.stats() == {
             "size": 0, "maxsize": 2, "hits": 0, "misses": 0, "evictions": 0,
+            "hit_rate": 0.0,
         }
 
     def test_invalid_capacity(self):
