@@ -53,6 +53,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo world count (default: Hoeffding bound)",
     )
     build.add_argument(
+        "--sampling",
+        choices=("fixed", "adaptive"),
+        default="fixed",
+        help="Monte-Carlo strategy for --mode global/weak: fixed per-candidate "
+        "batches (default) or confidence-driven sequential early stopping "
+        "(requires --backend csr; recorded in the index header)",
+    )
+    build.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="decision confidence of the adaptive sequential test (default: 0.95)",
+    )
+    build.add_argument(
+        "--n-worlds-max",
+        type=int,
+        default=None,
+        help="per-candidate world cap of the adaptive test "
+        "(default: twice the fixed budget)",
+    )
+    build.add_argument(
         "--no-compress",
         action="store_true",
         help="write an uncompressed archive (memory-mappable by repro-serve)",
@@ -91,6 +112,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
     kwargs: dict = {"backend": args.backend}
     if args.mode in ("global", "weak"):
         kwargs.update(seed=args.seed, n_samples=args.n_samples)
+        kwargs.update(
+            sampling=args.sampling,
+            confidence=args.confidence,
+            n_worlds_max=args.n_worlds_max,
+        )
     index = build_index(graph, mode=args.mode, theta=args.theta, k=args.k, **kwargs)
     index.save(args.output, compress=not args.no_compress)
     print(

@@ -41,6 +41,14 @@ from repro.deterministic.nucleus import is_k_nucleus
 from repro.exceptions import InvalidParameterError
 from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge
+from repro.sampling.adaptive import (
+    DEFAULT_CHUNK_GROWTH,
+    DEFAULT_CHUNK_INITIAL,
+    DEFAULT_CONFIDENCE,
+    AdaptiveSettings,
+    adaptive_global_verify,
+    resolve_adaptive_settings,
+)
 from repro.sampling.monte_carlo import hoeffding_sample_size
 from repro.sampling.world_matrix import (
     CandidateWorldIndex,
@@ -57,16 +65,29 @@ def resolve_sampling_options(
     n_jobs: int,
     rng: "random.Random | np.random.Generator | None",
     seed: int | None,
-) -> "random.Random | np.random.Generator":
+    sampling: str = "fixed",
+    confidence: float = DEFAULT_CONFIDENCE,
+    n_worlds_max: int | None = None,
+    chunk_initial: int = DEFAULT_CHUNK_INITIAL,
+    chunk_growth: float = DEFAULT_CHUNK_GROWTH,
+    n_samples: int | None = None,
+) -> "tuple[random.Random | np.random.Generator, AdaptiveSettings | None]":
     """Validate the sampling knobs shared by Algorithms 2 and 3.
 
-    Returns the engine RNG for the selected backend: a
-    :class:`random.Random` for the dict path (created from ``seed`` when not
-    supplied) or a numpy :class:`~numpy.random.Generator` for the
-    world-matrix path (a supplied ``random.Random`` is converted
-    deterministically, see
+    Returns ``(engine_rng, adaptive_settings)``.  The engine RNG for the
+    selected backend is a :class:`random.Random` for the dict path (created
+    from ``seed`` when not supplied) or a numpy
+    :class:`~numpy.random.Generator` for the world-matrix path (a supplied
+    ``random.Random`` is converted deterministically, see
     :func:`repro.sampling.world_matrix.as_numpy_generator`).  World sharding
     (``n_jobs > 1``) only exists in the matrix engine.
+
+    ``adaptive_settings`` is ``None`` for ``sampling="fixed"`` and a
+    validated :class:`~repro.sampling.adaptive.AdaptiveSettings` for
+    ``sampling="adaptive"`` (which requires the world-matrix engine, i.e.
+    ``backend="csr"``).  Out-of-range or non-finite knobs raise
+    :class:`~repro.exceptions.InvalidParameterError` here, before any
+    sampling starts.
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -76,13 +97,26 @@ def resolve_sampling_options(
         raise InvalidParameterError(
             'n_jobs > 1 requires backend="csr" (the dict engine samples world-by-world)'
         )
+    settings = resolve_adaptive_settings(
+        sampling,
+        confidence=confidence,
+        n_worlds_max=n_worlds_max,
+        chunk_initial=chunk_initial,
+        chunk_growth=chunk_growth,
+        n_samples=n_samples,
+    )
+    if settings is not None and backend != "csr":
+        raise InvalidParameterError(
+            'sampling="adaptive" requires backend="csr" (the sequential test '
+            "runs on the world-matrix engine)"
+        )
     if backend == "csr":
-        return as_numpy_generator(rng, seed)
+        return as_numpy_generator(rng, seed), settings
     if rng is None:
-        return random.Random(seed)
+        return random.Random(seed), settings
     if isinstance(rng, np.random.Generator):
-        return random.Random(int(rng.integers(0, 2**63)))
-    return rng
+        return random.Random(int(rng.integers(0, 2**63))), settings
+    return rng, settings
 
 
 def union_of_nuclei(nuclei: Sequence[ProbabilisticNucleus]) -> ProbabilisticGraph:
@@ -207,6 +241,30 @@ def _verify_candidate_matrix(
     return passes, triangles
 
 
+def _verify_candidate_adaptive(
+    subgraph: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    settings: AdaptiveSettings,
+    rng: np.random.Generator,
+    pool: WorldShardPool | None,
+) -> tuple[bool, list[Triangle]]:
+    """Sequential Monte-Carlo verification with confidence-driven stopping.
+
+    Same decision semantics as :func:`_verify_candidate_matrix`, but worlds
+    are drawn in geometric chunks and the candidate stops as soon as the
+    anytime-valid bounds of :mod:`repro.sampling.adaptive` settle the
+    θ-threshold decision.
+    """
+    index = CandidateWorldIndex.from_graph(subgraph)
+    triangles = index.triangle_labels()
+    if not triangles:
+        return False, triangles
+
+    passes, _ = adaptive_global_verify(index, k, theta, settings, rng=rng, pool=pool)
+    return passes, triangles
+
+
 def global_nucleus_decomposition(
     graph: ProbabilisticGraph,
     k: int,
@@ -220,6 +278,11 @@ def global_nucleus_decomposition(
     seed: int | None = None,
     backend: str = "dict",
     n_jobs: int = 1,
+    sampling: str = "fixed",
+    confidence: float = DEFAULT_CONFIDENCE,
+    n_worlds_max: int | None = None,
+    chunk_initial: int = DEFAULT_CHUNK_INITIAL,
+    chunk_growth: float = DEFAULT_CHUNK_GROWTH,
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) g-(k, θ)-nuclei of ``graph`` via Algorithm 2.
 
@@ -256,6 +319,14 @@ def global_nucleus_decomposition(
         world matrix (``backend="csr"`` only).  Results are identical for
         every ``n_jobs`` value at a fixed seed because the matrix is sampled
         before it is split.
+    sampling, confidence, n_worlds_max, chunk_initial, chunk_growth:
+        ``sampling="fixed"`` (default) draws exactly ``n_samples`` worlds
+        per candidate, bit-identical to previous releases.
+        ``sampling="adaptive"`` (``backend="csr"`` only) draws worlds in
+        geometric chunks and stops each candidate as soon as anytime-valid
+        confidence bounds settle its θ decision at level ``confidence``,
+        capped at ``n_worlds_max`` (default ``2 × n_samples``); see
+        :mod:`repro.sampling.adaptive`.
 
     Returns
     -------
@@ -269,7 +340,18 @@ def global_nucleus_decomposition(
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
-    engine_rng = resolve_sampling_options(backend, n_jobs, rng, seed)
+    engine_rng, adaptive = resolve_sampling_options(
+        backend,
+        n_jobs,
+        rng,
+        seed,
+        sampling=sampling,
+        confidence=confidence,
+        n_worlds_max=n_worlds_max,
+        chunk_initial=chunk_initial,
+        chunk_growth=chunk_growth,
+        n_samples=n_samples,
+    )
 
     if local_result is None:
         local_result = local_nucleus_decomposition(
@@ -297,7 +379,11 @@ def global_nucleus_decomposition(
             seen_candidates.add(candidate_key)
 
             subgraph = _cliques_to_subgraph(graph, cliques)
-            if backend == "csr":
+            if adaptive is not None:
+                all_pass, triangles = _verify_candidate_adaptive(
+                    subgraph, k, theta, adaptive, engine_rng, pool
+                )
+            elif backend == "csr":
                 all_pass, triangles = _verify_candidate_matrix(
                     subgraph, k, theta, n_samples, engine_rng, pool
                 )

@@ -40,6 +40,13 @@ from repro.deterministic.nucleus import (
 from repro.exceptions import InvalidParameterError
 from repro.graph.possible_worlds import sample_world
 from repro.graph.probabilistic_graph import ProbabilisticGraph
+from repro.sampling.adaptive import (
+    DEFAULT_CHUNK_GROWTH,
+    DEFAULT_CHUNK_INITIAL,
+    DEFAULT_CONFIDENCE,
+    AdaptiveSettings,
+    adaptive_weak_scores,
+)
 from repro.sampling.monte_carlo import hoeffding_sample_size
 from repro.sampling.world_matrix import (
     CandidateWorldIndex,
@@ -113,6 +120,32 @@ def triangle_weak_scores_matrix(
     }
 
 
+def _qualifying_triangles_adaptive(
+    candidate: ProbabilisticGraph,
+    k: int,
+    theta: float,
+    settings: AdaptiveSettings,
+    rng: "np.random.Generator",
+    pool: WorldShardPool | None = None,
+) -> tuple[dict[Triangle, float], set[Triangle]]:
+    """Sequential counterpart of the score-then-threshold step of Algorithm 3.
+
+    Returns ``(scores, qualifying)`` where ``qualifying`` is decided by the
+    anytime-valid confidence bounds of
+    :func:`repro.sampling.adaptive.adaptive_weak_scores` rather than by
+    thresholding the point estimates, so easy candidates stop after a few
+    chunks.
+    """
+    index = CandidateWorldIndex.from_graph(candidate)
+    estimates, qualifying, _ = adaptive_weak_scores(
+        index, k, theta, settings, rng=rng, pool=pool
+    )
+    labels = index.triangle_labels()
+    scores = dict(zip(labels, estimates.tolist()))
+    chosen = {label for label, keep in zip(labels, qualifying.tolist()) if keep}
+    return scores, chosen
+
+
 def weak_nucleus_decomposition(
     graph: ProbabilisticGraph,
     k: int,
@@ -126,6 +159,11 @@ def weak_nucleus_decomposition(
     seed: int | None = None,
     backend: str = "dict",
     n_jobs: int = 1,
+    sampling: str = "fixed",
+    confidence: float = DEFAULT_CONFIDENCE,
+    n_worlds_max: int | None = None,
+    chunk_initial: int = DEFAULT_CHUNK_INITIAL,
+    chunk_growth: float = DEFAULT_CHUNK_GROWTH,
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) w-(k, θ)-nuclei of ``graph`` via Algorithm 3.
 
@@ -140,7 +178,11 @@ def weak_nucleus_decomposition(
     (:func:`triangle_weak_scores`) while ``"csr"`` scores each candidate with
     the vectorized world-matrix engine
     (:func:`triangle_weak_scores_matrix`), optionally sharded across
-    ``n_jobs`` worker processes.
+    ``n_jobs`` worker processes.  ``sampling="adaptive"`` (``backend="csr"``
+    only) replaces the fixed-``n_samples`` scorer with the sequential test of
+    :mod:`repro.sampling.adaptive`: each candidate keeps drawing geometric
+    world chunks until every triangle's θ decision is settled at level
+    ``confidence`` or ``n_worlds_max`` worlds are spent.
     """
     if k < 0:
         raise InvalidParameterError(f"k must be non-negative, got {k}")
@@ -148,7 +190,18 @@ def weak_nucleus_decomposition(
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
-    engine_rng = resolve_sampling_options(backend, n_jobs, rng, seed)
+    engine_rng, adaptive = resolve_sampling_options(
+        backend,
+        n_jobs,
+        rng,
+        seed,
+        sampling=sampling,
+        confidence=confidence,
+        n_worlds_max=n_worlds_max,
+        chunk_initial=chunk_initial,
+        chunk_growth=chunk_growth,
+        n_samples=n_samples,
+    )
 
     if local_result is None:
         local_result = local_nucleus_decomposition(
@@ -161,13 +214,18 @@ def weak_nucleus_decomposition(
     try:
         for candidate in candidates:
             subgraph = candidate.subgraph
-            if backend == "csr":
+            if adaptive is not None:
+                scores, qualifying = _qualifying_triangles_adaptive(
+                    subgraph, k, theta, adaptive, engine_rng, pool=pool
+                )
+            elif backend == "csr":
                 scores = triangle_weak_scores_matrix(
                     subgraph, k, n_samples, rng=engine_rng, pool=pool
                 )
+                qualifying = {t for t, score in scores.items() if score >= theta}
             else:
                 scores = triangle_weak_scores(subgraph, k, n_samples, engine_rng)
-            qualifying = {t for t, score in scores.items() if score >= theta}
+                qualifying = {t for t, score in scores.items() if score >= theta}
             if not qualifying:
                 continue
             by_triangle, by_clique = triangle_clique_index(subgraph)

@@ -98,6 +98,7 @@ def _run_cell(
             for n in global_nucleus_decomposition(
                 graph, k=k, theta=theta, n_samples=n_samples,
                 local_result=local, seed=seed, backend=config.backend,
+                **config.sampling_kwargs(),
             )
         )
         weak_subgraphs.extend(
@@ -105,6 +106,7 @@ def _run_cell(
             for n in weak_nucleus_decomposition(
                 graph, k=k, theta=theta, n_samples=n_samples,
                 local_result=local, seed=seed, backend=config.backend,
+                **config.sampling_kwargs(),
             )
         )
 

@@ -47,6 +47,7 @@ from repro.obs.metrics import snapshot as obs_snapshot
 from repro.obs.spans import capture as obs_capture
 from repro.obs.spans import span
 from repro.obs.timing import timer
+from repro.sampling.adaptive import resolve_adaptive_settings
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -95,6 +96,13 @@ class RunConfig:
     grid_filter:
         ``(key, value)`` pairs; a grid cell survives only if
         ``str(cell[key]) == value`` for every pair (the CLI's ``--filter``).
+    sampling / confidence / n_worlds_max:
+        Monte-Carlo strategy of the global/weakly-global cells:
+        ``sampling="fixed"`` (default) draws the legacy per-candidate batch,
+        ``sampling="adaptive"`` enables the sequential early-stopping engine
+        of :mod:`repro.sampling.adaptive` at the given ``confidence`` with a
+        per-candidate cap of ``n_worlds_max`` worlds (``None`` → twice the
+        cell's fixed budget).  Recorded in every artifact's config block.
     """
 
     backend: str = "csr"
@@ -105,6 +113,9 @@ class RunConfig:
     use_cache: bool = True
     cache_dir: str | None = None
     grid_filter: tuple[tuple[str, str], ...] = ()
+    sampling: str = "fixed"
+    confidence: float = 0.95
+    n_worlds_max: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -113,6 +124,33 @@ class RunConfig:
             )
         if self.n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        # Validate the sampling knobs eagerly (typed InvalidParameterError),
+        # and reject adaptive sampling on the dict engine up front rather
+        # than at the first global/weak cell.
+        resolve_adaptive_settings(
+            self.sampling,
+            confidence=self.confidence,
+            n_worlds_max=self.n_worlds_max,
+            n_samples=None,
+        )
+        if self.sampling == "adaptive" and self.backend != "csr":
+            raise InvalidParameterError(
+                'sampling="adaptive" requires backend="csr" (the sequential '
+                "test runs on the world-matrix engine)"
+            )
+
+    def sampling_kwargs(self) -> dict:
+        """Keyword arguments for the decomposition drivers' sampling knobs.
+
+        Empty for ``sampling="fixed"`` so fixed-path calls stay byte-for-byte
+        identical to the pre-adaptive pipeline (golden parity).
+        """
+        if self.sampling == "fixed":
+            return {}
+        kwargs: dict = {"sampling": self.sampling, "confidence": self.confidence}
+        if self.n_worlds_max is not None:
+            kwargs["n_worlds_max"] = self.n_worlds_max
+        return kwargs
 
     def matches(self, params: dict) -> bool:
         """Return ``True`` when ``params`` passes every ``grid_filter`` pair."""
@@ -221,6 +259,9 @@ class ExperimentRun:
                 "n_jobs": self.config.n_jobs,
                 "use_cache": self.config.use_cache,
                 "grid_filter": [list(pair) for pair in self.config.grid_filter],
+                "sampling": self.config.sampling,
+                "confidence": self.config.confidence,
+                "n_worlds_max": self.config.n_worlds_max,
             },
             "row_fields": row_fields,
             "num_rows": len(self.rows),

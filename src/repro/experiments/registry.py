@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.experiments import (
     ablation_hybrid,
     ablation_sampling,
+    adaptive_frontier,
     figure4,
     figure5,
     figure6,
@@ -39,6 +40,7 @@ SPECS: dict[str, ExperimentSpec] = {
         figure8.SPEC,
         ablation_hybrid.SPEC,
         ablation_sampling.SPEC,
+        adaptive_frontier.SPEC,
         incremental_updates.SPEC,
     )
 }

@@ -9,7 +9,9 @@ drives the declarative pipeline of :mod:`repro.experiments.pipeline`:
   ``--jobs`` (parallel grid cells), ``--out`` (write
   ``EXPERIMENTS_<name>.json`` artifacts), ``--cache-dir`` / ``--no-cache``
   (decomposition snapshot reuse), ``--filter key=value`` (grid-cell
-  filtering) and ``--format plain|markdown``.
+  filtering), ``--format plain|markdown``, and the Monte-Carlo strategy
+  knobs ``--sampling fixed|adaptive`` / ``--confidence`` /
+  ``--n-worlds-max`` (sequential early stopping, recorded in artifacts).
 
 For backwards compatibility the seed-era invocation
 ``python -m repro.experiments <name> [<name> …]`` (no subcommand) still
@@ -121,6 +123,28 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="output_format",
         help="report layout (plain reproduces the paper tables byte for byte)",
     )
+    run.add_argument(
+        "--sampling",
+        choices=("fixed", "adaptive"),
+        default="fixed",
+        help="Monte-Carlo strategy of the global/weak cells: fixed per-candidate "
+        "batches (default) or confidence-driven sequential early stopping",
+    )
+    run.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        metavar="C",
+        help="decision confidence of the adaptive sequential test (default: 0.95)",
+    )
+    run.add_argument(
+        "--n-worlds-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-candidate world cap of the adaptive test "
+        "(default: twice the cell's fixed budget)",
+    )
     return parser
 
 
@@ -155,6 +179,9 @@ def _run_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         grid_filter=filters,
+        sampling=args.sampling,
+        confidence=args.confidence,
+        n_worlds_max=args.n_worlds_max,
     )
     runs = run_pipeline(names, config)
     for name in names:

@@ -223,6 +223,22 @@ def build_local_index(
     return NucleusIndex.from_local_result(local_result, params={"backend": backend})
 
 
+def _sampling_params(sampling: str, confidence: float, n_worlds_max: int | None) -> dict:
+    """The sampling-strategy block recorded into ``.npz`` param headers.
+
+    ``sampling="fixed"`` (the v1 layout) records nothing, so fixed-path
+    archives stay byte-identical to pre-adaptive builds and old archives
+    (which lack the keys entirely) read back as fixed.
+    """
+    if sampling == "fixed":
+        return {}
+    return {
+        "sampling": sampling,
+        "confidence": confidence,
+        "n_worlds_max": n_worlds_max,
+    }
+
+
 def build_global_index(
     graph: ProbabilisticGraph,
     k: int,
@@ -231,19 +247,28 @@ def build_global_index(
     n_samples: int | None = None,
     rng: random.Random | np.random.Generator | None = None,
     seed: int | None = None,
+    sampling: str = "fixed",
+    confidence: float = 0.95,
+    n_worlds_max: int | None = None,
     **kwargs,
 ) -> NucleusIndex:
     """Run the global decomposition at ``k`` and index the verified nuclei."""
+    sampling_kwargs = _sampling_params(sampling, confidence, n_worlds_max)
     nuclei = global_nucleus_decomposition(
-        graph, k, theta, backend=backend, n_samples=n_samples, rng=rng, seed=seed, **kwargs
-    )
-    return NucleusIndex.from_nuclei(
         graph,
-        nuclei,
-        k=k,
-        theta=theta,
-        mode="global",
-        params={"k": k, "backend": backend, "n_samples": n_samples, "seed": seed},
+        k,
+        theta,
+        backend=backend,
+        n_samples=n_samples,
+        rng=rng,
+        seed=seed,
+        **sampling_kwargs,
+        **kwargs,
+    )
+    params = {"k": k, "backend": backend, "n_samples": n_samples, "seed": seed}
+    params.update(sampling_kwargs)
+    return NucleusIndex.from_nuclei(
+        graph, nuclei, k=k, theta=theta, mode="global", params=params
     )
 
 
@@ -255,19 +280,28 @@ def build_weak_index(
     n_samples: int | None = None,
     rng: random.Random | np.random.Generator | None = None,
     seed: int | None = None,
+    sampling: str = "fixed",
+    confidence: float = 0.95,
+    n_worlds_max: int | None = None,
     **kwargs,
 ) -> NucleusIndex:
     """Run the weakly-global decomposition at ``k`` and index the resulting nuclei."""
+    sampling_kwargs = _sampling_params(sampling, confidence, n_worlds_max)
     nuclei = weak_nucleus_decomposition(
-        graph, k, theta, backend=backend, n_samples=n_samples, rng=rng, seed=seed, **kwargs
-    )
-    return NucleusIndex.from_nuclei(
         graph,
-        nuclei,
-        k=k,
-        theta=theta,
-        mode="weakly-global",
-        params={"k": k, "backend": backend, "n_samples": n_samples, "seed": seed},
+        k,
+        theta,
+        backend=backend,
+        n_samples=n_samples,
+        rng=rng,
+        seed=seed,
+        **sampling_kwargs,
+        **kwargs,
+    )
+    params = {"k": k, "backend": backend, "n_samples": n_samples, "seed": seed}
+    params.update(sampling_kwargs)
+    return NucleusIndex.from_nuclei(
+        graph, nuclei, k=k, theta=theta, mode="weakly-global", params=params
     )
 
 

@@ -553,6 +553,16 @@ def _rebuild_fallback(index: NucleusIndex, csr, inserted, deleted, changed, adde
             graph, index.theta, estimator=factory(), backend=backend
         )
     builder = build_global_index if index.mode == "global" else build_weak_index
+    sampling = str(params.get("sampling", "fixed"))
+    sampling_kwargs = {}
+    if sampling != "fixed":
+        # v2 headers record the adaptive knobs; v1 archives lack the keys
+        # entirely and rebuild on the fixed path exactly as before.
+        sampling_kwargs = {
+            "sampling": sampling,
+            "confidence": float(params.get("confidence", 0.95)),
+            "n_worlds_max": params.get("n_worlds_max"),
+        }
     return builder(
         new_csr.to_probabilistic(),
         int(params["k"]),
@@ -560,6 +570,7 @@ def _rebuild_fallback(index: NucleusIndex, csr, inserted, deleted, changed, adde
         backend=str(params.get("backend", "dict")),
         n_samples=params.get("n_samples"),
         seed=params.get("seed"),
+        **sampling_kwargs,
     )
 
 

@@ -4,8 +4,24 @@ Two sampling engines live here: the scalar helpers of
 :mod:`repro.sampling.monte_carlo` (one dict-backed world at a time) and the
 vectorized world-matrix engine of :mod:`repro.sampling.world_matrix` used by
 the ``backend="csr"`` paths of the global and weakly-global decompositions.
+:mod:`repro.sampling.adaptive` layers a sequential test over the matrix
+engine: geometric world chunks with anytime-valid confidence bounds that stop
+each candidate as soon as its θ decision is settled.
 """
 
+from repro.sampling.adaptive import (
+    SAMPLING_MODES,
+    AdaptiveOutcome,
+    AdaptiveSettings,
+    adaptive_global_verify,
+    adaptive_weak_scores,
+    chunk_schedule,
+    decision_radius,
+    empirical_bernstein_radius,
+    hoeffding_radius,
+    resolve_adaptive_settings,
+    stage_delta,
+)
 from repro.sampling.monte_carlo import (
     MonteCarloEstimate,
     estimate_world_probability,
@@ -31,6 +47,17 @@ from repro.sampling.world_matrix import (
 )
 
 __all__ = [
+    "SAMPLING_MODES",
+    "AdaptiveOutcome",
+    "AdaptiveSettings",
+    "adaptive_global_verify",
+    "adaptive_weak_scores",
+    "chunk_schedule",
+    "decision_radius",
+    "empirical_bernstein_radius",
+    "hoeffding_radius",
+    "resolve_adaptive_settings",
+    "stage_delta",
     "MonteCarloEstimate",
     "estimate_world_probability",
     "hoeffding_error_bound",

@@ -185,7 +185,7 @@ class TestRunner:
         assert {
             "table1", "table2", "table3", "figure4", "figure5",
             "figure6", "figure7", "figure8", "ablation_hybrid", "ablation_sampling",
-            "incremental_updates",
+            "adaptive_frontier", "incremental_updates",
         } == set(EXPERIMENTS)
 
     def test_unknown_experiment(self):
