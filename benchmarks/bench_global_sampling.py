@@ -9,6 +9,13 @@ engine draws each possible world edge-by-edge in Python; the matrix engine
 ``n_worlds`` worlds of a candidate in one RNG call and verifies them
 batch-wise.
 
+A third timing column exercises the compiled verification kernels
+(:mod:`repro.kernels.worlds`): the same matrix-engine run with
+``kernel="numba"`` when numba is importable, reported as
+``kernel_seconds`` / ``kernel_speedup`` (matrix-over-kernel).  Without
+numba the rows fall back to the numpy kernel (``kernel_speedup`` ≈ 1) and
+the ``--min-kernel-speedup`` gate skips with a notice instead of failing.
+
 Results are printed as a table and written to a machine-readable JSON file
 (default ``BENCH_global_sampling.json``) that the CI ``bench-smoke`` job
 uploads as an artifact and gates on: ``--max-slowdown X`` exits non-zero if
@@ -38,7 +45,8 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
 
 from repro.core.local import local_nucleus_decomposition
 from repro.core.weak_nucleus import weak_nucleus_decomposition
-from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.experiments.datasets import DATASET_NAMES, SCALES, load_dataset
+from repro.kernels import numba_available
 from repro.obs.timing import timer
 
 DEFAULT_JSON = "BENCH_global_sampling.json"
@@ -64,6 +72,7 @@ def compare_sampling_backends(
     local = local_nucleus_decomposition(graph, theta)
     k = max(1, local.max_score)
     runners = {"global": global_nucleus_decomposition, "weak": weak_nucleus_decomposition}
+    kernel_impl = "numba" if numba_available() else "numpy"
     rows = []
     for algorithm in algorithms:
         run = runners[algorithm]
@@ -75,6 +84,22 @@ def compare_sampling_backends(
             run, graph, k=k, theta=theta, n_samples=n_worlds,
             local_result=local, seed=seed, backend="csr",
         )
+        if kernel_impl == "numba":
+            # Warm up once untimed so jit compilation never lands in the
+            # measured run.
+            run(
+                graph, k=k, theta=theta, n_samples=n_worlds,
+                local_result=local, seed=seed, backend="csr", kernel=kernel_impl,
+            )
+        kernel_result, kernel_seconds = _timed(
+            run, graph, k=k, theta=theta, n_samples=n_worlds,
+            local_result=local, seed=seed, backend="csr", kernel=kernel_impl,
+        )
+        # The verification kernels are bit-identical for the same worlds
+        # (same seed, same monolithic sampling stream).
+        assert len(kernel_result) == len(matrix_result), (
+            f"{kernel_impl} kernel diverged from the matrix engine on {algorithm}"
+        )
         rows.append(
             {
                 "algorithm": algorithm,
@@ -85,6 +110,9 @@ def compare_sampling_backends(
                 "speedup": dict_seconds / matrix_seconds,
                 "dict_nuclei": len(dict_result),
                 "matrix_nuclei": len(matrix_result),
+                "kernel": kernel_impl,
+                "kernel_seconds": kernel_seconds,
+                "kernel_speedup": matrix_seconds / kernel_seconds,
             }
         )
     return rows
@@ -108,10 +136,14 @@ def run_global_sampling(
 def summarize(rows: list[dict]) -> dict:
     """Aggregate speedups: minimum and geometric mean across workloads."""
     speedups = [row["speedup"] for row in rows]
+    kernel_speedups = [row["kernel_speedup"] for row in rows]
     return {
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
         "geomean_speedup": math.exp(sum(math.log(s) for s in speedups) / len(speedups)),
+        "geomean_kernel_speedup": math.exp(
+            sum(math.log(s) for s in kernel_speedups) / len(kernel_speedups)
+        ),
     }
 
 
@@ -122,6 +154,7 @@ def build_report(rows: list[dict], scale: str, theta: float, n_worlds: int) -> d
         "scale": scale,
         "theta": theta,
         "n_worlds": n_worlds,
+        "kernel": rows[0]["kernel"] if rows else "numpy",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "rows": rows,
@@ -132,15 +165,18 @@ def build_report(rows: list[dict], scale: str, theta: float, n_worlds: int) -> d
 def format_global_sampling(rows: list[dict]) -> str:
     lines = [
         f"{'dataset':<12} {'algo':<7} {'k':>2} {'triangles':>9} "
-        f"{'dict (s)':>9} {'matrix (s)':>10} {'speedup':>8} {'nuclei':>11}",
-        "-" * 76,
+        f"{'dict (s)':>9} {'matrix (s)':>10} {'speedup':>8} "
+        f"{'kernel (s)':>10} {'kspeed':>7} {'nuclei':>11}",
+        "-" * 95,
     ]
     for row in rows:
         nuclei = f"{row['dict_nuclei']}/{row['matrix_nuclei']}"
         lines.append(
             f"{row['dataset']:<12} {row['algorithm']:<7} {row['k']:>2} "
             f"{row['triangles']:>9} {row['dict_seconds']:>9.3f} "
-            f"{row['matrix_seconds']:>10.3f} {row['speedup']:>7.2f}x {nuclei:>11}"
+            f"{row['matrix_seconds']:>10.3f} {row['speedup']:>7.2f}x "
+            f"{row['kernel_seconds']:>10.3f} {row['kernel_speedup']:>6.2f}x "
+            f"{nuclei:>11}"
         )
     return "\n".join(lines)
 
@@ -163,7 +199,7 @@ def test_global_sampling(benchmark, bench_scale, tmp_path):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--scale", choices=SCALES, default="tiny")
     parser.add_argument("--theta", type=float, default=0.01)
     parser.add_argument("--n-worlds", type=int, default=DEFAULT_N_WORLDS)
     parser.add_argument("--seed", type=int, default=0)
@@ -175,6 +211,12 @@ def main(argv=None) -> int:
         "--max-slowdown", type=float, default=None, metavar="X",
         help="exit non-zero if the matrix engine is more than X times slower "
              "than the dict engine on any workload (CI regression gate)",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the compiled verification kernels beat the "
+             "numpy matrix engine by a geomean of at least X; skipped with a "
+             "notice when numba is not installed",
     )
     args = parser.parse_args(argv)
 
@@ -188,7 +230,9 @@ def main(argv=None) -> int:
     print(
         f"\nmin speedup {summary['min_speedup']:.2f}x · "
         f"geomean {summary['geomean_speedup']:.2f}x · "
-        f"max {summary['max_speedup']:.2f}x · report -> {args.json}"
+        f"max {summary['max_speedup']:.2f}x · "
+        f"kernel geomean {summary['geomean_kernel_speedup']:.2f}x "
+        f"({report['kernel']}) · report -> {args.json}"
     )
 
     if args.max_slowdown is not None:
@@ -202,6 +246,20 @@ def main(argv=None) -> int:
                     f"(gate: {args.max_slowdown:.2f}x)",
                     file=sys.stderr,
                 )
+            return 1
+    if args.min_kernel_speedup is not None:
+        if report["kernel"] != "numba":
+            print(
+                "kernel gate skipped: numba is not installed, rows timed the "
+                "numpy fallback (install with pip install .[kernels])"
+            )
+        elif summary["geomean_kernel_speedup"] < args.min_kernel_speedup:
+            print(
+                f"GATE FAILURE: geomean kernel speedup "
+                f"{summary['geomean_kernel_speedup']:.2f}x is below the "
+                f"required {args.min_kernel_speedup:.2f}x",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

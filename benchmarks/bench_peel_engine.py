@@ -14,6 +14,14 @@ The benchmark also pins the cost of the observability layer: every dataset
 is peeled once more with telemetry enabled (``REPRO_OBS`` spans + counters)
 and the enabled/disabled ratio is reported as ``obs_overhead``.
 
+A fourth timing column exercises the compiled kernel layer
+(:mod:`repro.kernels`): the same engine peel with ``kernel="numba"`` when
+numba is importable, reported as ``kernel_seconds`` / ``kernel_speedup``
+(engine-over-kernel).  Without numba the rows fall back to the numpy
+kernel (``kernel_speedup`` ≈ 1) and the ``--min-kernel-speedup`` gate
+skips with a notice instead of failing — the numpy-only CI leg still runs
+the benchmark, the numba leg gates ``--scale large`` at 5x geomean.
+
 Results are printed as a table and written to ``BENCH_peel_engine.json``;
 CI's ``bench-smoke`` job runs this with ``--min-speedup 1.5`` (the engine
 must beat the legacy CSR path by at least 1.5x on every bundled dataset)
@@ -43,8 +51,9 @@ from repro.core.batch import batched_initial_kappas, build_triangle_extension_in
 from repro.core.hybrid import HybridEstimator
 from repro.core.local import _csr_engine_arrays, _label_space_scores, _TriangleState
 from repro.deterministic.cliques import canonical_four_clique, canonical_triangle
-from repro.experiments.datasets import DATASET_NAMES, load_dataset
+from repro.experiments.datasets import DATASET_NAMES, SCALES, load_dataset
 from repro.graph.csr import CSRProbabilisticGraph
+from repro.kernels import numba_available
 from repro.obs import capture as obs_capture
 from repro.obs import timer
 
@@ -96,9 +105,11 @@ def legacy_csr_scores(csr: CSRProbabilisticGraph, theta: float, estimator) -> di
     return _peel_states(states, by_clique, estimator, theta)
 
 
-def engine_csr_scores(csr: CSRProbabilisticGraph, theta: float, estimator) -> dict:
+def engine_csr_scores(
+    csr: CSRProbabilisticGraph, theta: float, estimator, kernel: str = "numpy"
+) -> dict:
     """The current CSR path: flat bucket-queue peel + one label translation."""
-    index, scores = _csr_engine_arrays(csr, theta, estimator)
+    index, scores = _csr_engine_arrays(csr, theta, estimator, kernel=kernel)
     return _label_space_scores(csr, index, scores)
 
 
@@ -131,6 +142,9 @@ def run_peel_engine(
 ) -> dict:
     """Time legacy vs engine CSR peeling on every bundled dataset analogue."""
     factory = HybridEstimator if estimator_name == "hybrid" else DynamicProgrammingEstimator
+    # Request the compiled kernels only when numba is importable: the numpy
+    # fallback rows stay meaningful (and warning-free) on the numpy-only leg.
+    kernel_impl = "numba" if numba_available() else "numpy"
     rows = []
     for name in DATASET_NAMES:
         csr = load_dataset(name, scale=scale).to_csr()
@@ -144,8 +158,17 @@ def run_peel_engine(
             engine_csr_scores, csr, theta, factory(), repeats=repeats,
             instrumented=True,
         )
+        if kernel_impl == "numba":
+            # Warm up once untimed so jit compilation never lands in a repeat.
+            engine_csr_scores(csr, theta, factory(), kernel=kernel_impl)
+        kernel_scores, kernel_seconds = _best_of(
+            engine_csr_scores, csr, theta, factory(), kernel_impl, repeats=repeats
+        )
         assert engine == legacy, f"peel engine diverged from legacy path on {name}"
         assert obs_engine == legacy, f"instrumented peel diverged on {name}"
+        assert kernel_scores == legacy, (
+            f"{kernel_impl} kernel peel diverged from legacy path on {name}"
+        )
         rows.append(
             {
                 "dataset": name,
@@ -155,15 +178,20 @@ def run_peel_engine(
                 "speedup": legacy_seconds / engine_seconds,
                 "obs_seconds": obs_seconds,
                 "obs_overhead": obs_seconds / engine_seconds,
+                "kernel": kernel_impl,
+                "kernel_seconds": kernel_seconds,
+                "kernel_speedup": engine_seconds / kernel_seconds,
             }
         )
     speedups = [row["speedup"] for row in rows]
     overheads = [row["obs_overhead"] for row in rows]
+    kernel_speedups = [row["kernel_speedup"] for row in rows]
     return {
         "benchmark": "peel_engine",
         "scale": scale,
         "theta": theta,
         "estimator": estimator_name,
+        "kernel": kernel_impl,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "rows": rows,
@@ -176,6 +204,9 @@ def run_peel_engine(
             "geomean_obs_overhead": math.exp(
                 sum(math.log(o) for o in overheads) / len(overheads)
             ),
+            "geomean_kernel_speedup": math.exp(
+                sum(math.log(s) for s in kernel_speedups) / len(kernel_speedups)
+            ),
         },
     }
 
@@ -183,17 +214,19 @@ def run_peel_engine(
 def format_peel_engine(report: dict) -> str:
     lines = [
         f"scale={report['scale']} theta={report['theta']} "
-        f"estimator={report['estimator']}",
+        f"estimator={report['estimator']} kernel={report['kernel']}",
         f"{'dataset':<12} {'triangles':>9} {'legacy (s)':>11} "
-        f"{'engine (s)':>11} {'speedup':>8} {'obs (s)':>9} {'ovh':>6}",
-        "-" * 73,
+        f"{'engine (s)':>11} {'speedup':>8} {'obs (s)':>9} {'ovh':>6} "
+        f"{'kernel (s)':>11} {'kspeed':>7}",
+        "-" * 93,
     ]
     for row in report["rows"]:
         lines.append(
             f"{row['dataset']:<12} {row['triangles']:>9} "
             f"{row['legacy_seconds']:>11.4f} {row['engine_seconds']:>11.4f} "
             f"{row['speedup']:>7.2f}x "
-            f"{row['obs_seconds']:>9.4f} {row['obs_overhead']:>5.2f}x"
+            f"{row['obs_seconds']:>9.4f} {row['obs_overhead']:>5.2f}x "
+            f"{row['kernel_seconds']:>11.4f} {row['kernel_speedup']:>6.2f}x"
         )
     return "\n".join(lines)
 
@@ -211,7 +244,7 @@ def test_peel_engine(benchmark, bench_scale, tmp_path):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--scale", choices=SCALES, default="tiny")
     parser.add_argument("--theta", type=float, default=DEFAULT_THETA)
     parser.add_argument("--estimator", choices=("dp", "hybrid"), default="dp")
     parser.add_argument("--repeats", type=int, default=3)
@@ -237,6 +270,15 @@ def main(argv=None) -> int:
         help="exit non-zero unless the geomean instrumented/uninstrumented "
         "peel ratio stays at or below X (CI acceptance gate)",
     )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the compiled kernels beat the numpy "
+        "engine by a geomean of at least X; skipped with a notice when "
+        "numba is not installed (the fallback rows time numpy vs numpy)",
+    )
     args = parser.parse_args(argv)
 
     report = run_peel_engine(
@@ -253,7 +295,8 @@ def main(argv=None) -> int:
         f"geomean {summary['geomean_speedup']:.2f}x · "
         f"max {summary['max_speedup']:.2f}x · "
         f"obs overhead {summary['geomean_obs_overhead']:.3f}x · "
-        f"report -> {args.json}"
+        f"kernel geomean {summary['geomean_kernel_speedup']:.2f}x "
+        f"({report['kernel']}) · report -> {args.json}"
     )
 
     if args.min_speedup is not None:
@@ -273,6 +316,20 @@ def main(argv=None) -> int:
             print(
                 f"GATE FAILURE: geomean obs overhead {overhead:.3f}x exceeds "
                 f"the allowed {args.max_obs_overhead:.3f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_kernel_speedup is not None:
+        if report["kernel"] != "numba":
+            print(
+                "kernel gate skipped: numba is not installed, rows timed the "
+                "numpy fallback (install with pip install .[kernels])"
+            )
+        elif summary["geomean_kernel_speedup"] < args.min_kernel_speedup:
+            print(
+                f"GATE FAILURE: geomean kernel speedup "
+                f"{summary['geomean_kernel_speedup']:.2f}x is below the "
+                f"required {args.min_kernel_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

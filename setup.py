@@ -36,6 +36,9 @@ setup(
     install_requires=["numpy>=1.22"],
     extras_require={
         "networkx": ["networkx>=2.6"],
+        # Compiled peel/verification kernels (kernel="numba"); the library
+        # falls back to the portable numpy kernels when this extra is absent.
+        "kernels": ["numba>=0.56"],
         "benchmarks": ["pytest", "pytest-benchmark"],
         "tests": ["pytest", "hypothesis", "pytest-cov"],
         "lint": ["ruff"],

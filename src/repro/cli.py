@@ -74,6 +74,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: twice the fixed budget)",
     )
     build.add_argument(
+        "--kernel",
+        choices=("numpy", "numba"),
+        default="numpy",
+        help="hot-loop implementation: portable numpy (default) or the "
+        "compiled kernels of the [kernels] extra (requires --backend csr; "
+        "falls back to numpy with a warning when numba is not installed)",
+    )
+    build.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="edge partitions per candidate world sample for --mode "
+        "global/weak (default 1 = monolithic matrix; >1 bounds peak memory "
+        "by a single partition block, requires --backend csr)",
+    )
+    build.add_argument(
         "--no-compress",
         action="store_true",
         help="write an uncompressed archive (memory-mappable by repro-serve)",
@@ -109,13 +125,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
-    kwargs: dict = {"backend": args.backend}
+    kwargs: dict = {"backend": args.backend, "kernel": args.kernel}
     if args.mode in ("global", "weak"):
         kwargs.update(seed=args.seed, n_samples=args.n_samples)
         kwargs.update(
             sampling=args.sampling,
             confidence=args.confidence,
             n_worlds_max=args.n_worlds_max,
+            partitions=args.partitions,
+        )
+    elif args.partitions != 1:
+        raise ReproError(
+            "--partitions applies to --mode global/weak (the local peel "
+            "never materializes a worlds matrix)"
         )
     index = build_index(graph, mode=args.mode, theta=args.theta, k=args.k, **kwargs)
     index.save(args.output, compress=not args.no_compress)
@@ -151,7 +173,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "num_components",
         ):
             print(f"{field}: {description[field]}")
-        print(f"params: {description['params']}")
+        params = description["params"]
+        # Engine knobs are omitted from params at their defaults (archive
+        # byte-parity); surface the effective values explicitly.
+        print(f"kernel: {params.get('kernel', 'numpy')}")
+        if "kernel_resolved" in params:
+            print(f"kernel_resolved: {params['kernel_resolved']}")
+        if index.mode != "local":
+            print(f"partitions: {params.get('partitions', 1)}")
+        print(f"params: {params}")
         print(f"cache: {_format_cache_stats(description['cache'])}")
     return 0
 

@@ -40,6 +40,7 @@ from repro.deterministic.cliques import (
 from repro.deterministic.nucleus import is_k_nucleus
 from repro.exceptions import InvalidParameterError
 from repro.graph.possible_worlds import sample_world
+from repro.kernels import resolve_kernel
 from repro.graph.probabilistic_graph import Edge, ProbabilisticGraph, canonical_edge
 from repro.sampling.adaptive import (
     DEFAULT_CHUNK_GROWTH,
@@ -50,6 +51,8 @@ from repro.sampling.adaptive import (
     resolve_adaptive_settings,
 )
 from repro.sampling.monte_carlo import hoeffding_sample_size
+from repro.sampling.partitioned import partitioned_global_counts
+from repro.sampling.sharding import _require_positive_int
 from repro.sampling.world_matrix import (
     CandidateWorldIndex,
     WorldShardPool,
@@ -71,10 +74,12 @@ def resolve_sampling_options(
     chunk_initial: int = DEFAULT_CHUNK_INITIAL,
     chunk_growth: float = DEFAULT_CHUNK_GROWTH,
     n_samples: int | None = None,
-) -> "tuple[random.Random | np.random.Generator, AdaptiveSettings | None]":
+    kernel: str = "numpy",
+    partitions: int = 1,
+) -> "tuple[random.Random | np.random.Generator, AdaptiveSettings | None, str]":
     """Validate the sampling knobs shared by Algorithms 2 and 3.
 
-    Returns ``(engine_rng, adaptive_settings)``.  The engine RNG for the
+    Returns ``(engine_rng, adaptive_settings, resolved_kernel)``.  The engine RNG for the
     selected backend is a :class:`random.Random` for the dict path (created
     from ``seed`` when not supplied) or a numpy
     :class:`~numpy.random.Generator` for the world-matrix path (a supplied
@@ -85,7 +90,14 @@ def resolve_sampling_options(
     ``adaptive_settings`` is ``None`` for ``sampling="fixed"`` and a
     validated :class:`~repro.sampling.adaptive.AdaptiveSettings` for
     ``sampling="adaptive"`` (which requires the world-matrix engine, i.e.
-    ``backend="csr"``).  Out-of-range or non-finite knobs raise
+    ``backend="csr"``).  ``resolved_kernel`` is ``kernel`` after the
+    numba-availability fallback of :func:`repro.kernels.resolve_kernel`
+    (``kernel="numba"`` requires ``backend="csr"``).  ``partitions > 1``
+    switches candidate verification to the partitioned sampler of
+    :mod:`repro.sampling.partitioned` — ``backend="csr"`` and
+    ``sampling="fixed"`` only, since the sequential test draws incremental
+    chunks the partitioned single-pass estimator cannot.  Out-of-range or
+    non-finite knobs raise
     :class:`~repro.exceptions.InvalidParameterError` here, before any
     sampling starts.
     """
@@ -110,13 +122,31 @@ def resolve_sampling_options(
             'sampling="adaptive" requires backend="csr" (the sequential test '
             "runs on the world-matrix engine)"
         )
+    if kernel != "numpy" and backend != "csr":
+        resolve_kernel(kernel, warn=False)  # surface unknown names first
+        raise InvalidParameterError(
+            f'kernel={kernel!r} requires backend="csr" (the dict engine has '
+            "no array loops to compile)"
+        )
+    _require_positive_int("partitions", partitions)
+    if partitions > 1 and backend != "csr":
+        raise InvalidParameterError(
+            'partitions > 1 requires backend="csr" (the partitioned sampler '
+            "runs on the world-matrix engine)"
+        )
+    if partitions > 1 and settings is not None:
+        raise InvalidParameterError(
+            'partitions > 1 requires sampling="fixed" (the sequential test '
+            "draws incremental chunks the partitioned estimator cannot)"
+        )
+    resolved_kernel = resolve_kernel(kernel)
     if backend == "csr":
-        return as_numpy_generator(rng, seed), settings
+        return as_numpy_generator(rng, seed), settings, resolved_kernel
     if rng is None:
-        return random.Random(seed), settings
+        return random.Random(seed), settings, resolved_kernel
     if isinstance(rng, np.random.Generator):
-        return random.Random(int(rng.integers(0, 2**63))), settings
-    return rng, settings
+        return random.Random(int(rng.integers(0, 2**63))), settings, resolved_kernel
+    return rng, settings, resolved_kernel
 
 
 def union_of_nuclei(nuclei: Sequence[ProbabilisticNucleus]) -> ProbabilisticGraph:
@@ -223,20 +253,31 @@ def _verify_candidate_matrix(
     n_samples: int,
     rng: np.random.Generator,
     pool: WorldShardPool | None,
+    kernel: str = "numpy",
+    partitions: int = 1,
 ) -> tuple[bool, list[Triangle]]:
     """World-matrix Monte-Carlo verification: all worlds in one batch.
 
     Samples the candidate's ``(n_samples, n_edges)`` boolean world matrix
     with a single RNG call and thresholds the batched per-triangle counts of
-    :func:`repro.sampling.world_matrix.global_triangle_counts`.
+    :func:`repro.sampling.world_matrix.global_triangle_counts`.  With
+    ``partitions > 1`` the matrix is never materialized: the candidate's
+    edge range is sampled one partition block at a time
+    (:func:`repro.sampling.partitioned.partitioned_global_counts`), bounding
+    peak memory by a single block.
     """
     index = CandidateWorldIndex.from_graph(subgraph)
     triangles = index.triangle_labels()
     if not triangles:
         return False, triangles
 
-    worlds = index.sample(n_samples, rng=rng)
-    counts = global_triangle_counts(index, worlds, k, pool=pool)
+    if partitions > 1:
+        counts = partitioned_global_counts(
+            index, n_samples, k, rng=rng, partitions=partitions, pool=pool, kernel=kernel
+        )
+    else:
+        worlds = index.sample(n_samples, rng=rng)
+        counts = global_triangle_counts(index, worlds, k, pool=pool, kernel=kernel)
     passes = bool(np.all(counts / n_samples >= theta))
     return passes, triangles
 
@@ -248,6 +289,7 @@ def _verify_candidate_adaptive(
     settings: AdaptiveSettings,
     rng: np.random.Generator,
     pool: WorldShardPool | None,
+    kernel: str = "numpy",
 ) -> tuple[bool, list[Triangle]]:
     """Sequential Monte-Carlo verification with confidence-driven stopping.
 
@@ -261,7 +303,9 @@ def _verify_candidate_adaptive(
     if not triangles:
         return False, triangles
 
-    passes, _ = adaptive_global_verify(index, k, theta, settings, rng=rng, pool=pool)
+    passes, _ = adaptive_global_verify(
+        index, k, theta, settings, rng=rng, pool=pool, kernel=kernel
+    )
     return passes, triangles
 
 
@@ -283,6 +327,8 @@ def global_nucleus_decomposition(
     n_worlds_max: int | None = None,
     chunk_initial: int = DEFAULT_CHUNK_INITIAL,
     chunk_growth: float = DEFAULT_CHUNK_GROWTH,
+    kernel: str = "numpy",
+    partitions: int = 1,
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) g-(k, θ)-nuclei of ``graph`` via Algorithm 2.
 
@@ -327,6 +373,18 @@ def global_nucleus_decomposition(
         confidence bounds settle its θ decision at level ``confidence``,
         capped at ``n_worlds_max`` (default ``2 × n_samples``); see
         :mod:`repro.sampling.adaptive`.
+    kernel:
+        ``"numpy"`` (default) or ``"numba"`` — compiled hot loops for the
+        local pruning peel and the world verification
+        (:mod:`repro.kernels`); ``backend="csr"`` only, falls back to numpy
+        (with a one-time warning) when numba is not installed.
+    partitions:
+        Number of contiguous edge partitions each candidate's world sample
+        is drawn in (default 1 = the monolithic matrix).  ``partitions > 1``
+        (``backend="csr"``, ``sampling="fixed"`` only) bounds peak memory by
+        a single ``(n_samples, num_edges / partitions)`` block — how
+        ``scale=large`` graphs whose matrices exceed RAM stay decomposable;
+        see :mod:`repro.sampling.partitioned`.
 
     Returns
     -------
@@ -340,7 +398,7 @@ def global_nucleus_decomposition(
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
-    engine_rng, adaptive = resolve_sampling_options(
+    engine_rng, adaptive, kernel = resolve_sampling_options(
         backend,
         n_jobs,
         rng,
@@ -351,11 +409,13 @@ def global_nucleus_decomposition(
         chunk_initial=chunk_initial,
         chunk_growth=chunk_growth,
         n_samples=n_samples,
+        kernel=kernel,
+        partitions=partitions,
     )
 
     if local_result is None:
         local_result = local_nucleus_decomposition(
-            graph, theta, estimator=estimator, backend=backend
+            graph, theta, estimator=estimator, backend=backend, kernel=kernel
         )
     local_nuclei = local_result.nuclei(k)
     if not local_nuclei:
@@ -381,11 +441,12 @@ def global_nucleus_decomposition(
             subgraph = _cliques_to_subgraph(graph, cliques)
             if adaptive is not None:
                 all_pass, triangles = _verify_candidate_adaptive(
-                    subgraph, k, theta, adaptive, engine_rng, pool
+                    subgraph, k, theta, adaptive, engine_rng, pool, kernel=kernel
                 )
             elif backend == "csr":
                 all_pass, triangles = _verify_candidate_matrix(
-                    subgraph, k, theta, n_samples, engine_rng, pool
+                    subgraph, k, theta, n_samples, engine_rng, pool,
+                    kernel=kernel, partitions=partitions,
                 )
             else:
                 all_pass, triangles = _verify_candidate_dict(

@@ -48,6 +48,7 @@ from repro.core.batch import (
 )
 from repro.core.hybrid import HybridEstimator
 from repro.core.peel import EstimatorKappaRepair, peel_kappa_scores
+from repro.kernels import resolve_kernel
 from repro.core.result import LocalNucleusDecomposition
 from repro.core.support_dp import NO_VALID_K
 from repro.deterministic.cliques import (
@@ -206,6 +207,7 @@ def _csr_engine_arrays(
     csr: CSRProbabilisticGraph,
     theta: float,
     estimator: SupportEstimator,
+    kernel: str = "numpy",
 ) -> tuple[CSRTriangleIndex, np.ndarray]:
     """Run the array-native CSR pipeline: index → batched κ-init → peel.
 
@@ -217,7 +219,7 @@ def _csr_engine_arrays(
     index = build_triangle_extension_index(csr)
     kappas = batched_initial_kappas(index, theta, estimator)
     repair = EstimatorKappaRepair(estimator, index.triangle_probabilities, theta)
-    return index, peel_kappa_scores(index, kappas, repair)
+    return index, peel_kappa_scores(index, kappas, repair, kernel=kernel)
 
 
 def _label_space_scores(
@@ -251,6 +253,7 @@ def local_nucleus_decomposition(
     theta: float,
     estimator: SupportEstimator | None = None,
     backend: str = "dict",
+    kernel: str = "numpy",
 ) -> LocalNucleusDecomposition:
     """Compute the local probabilistic nucleus decomposition of ``graph``.
 
@@ -277,6 +280,11 @@ def local_nucleus_decomposition(
         materialising any triangle or 4-clique objects.  Both backends
         produce identical decompositions; ``"csr"`` is markedly faster on
         graphs with many triangles.
+    kernel:
+        ``"numpy"`` (default) or ``"numba"`` — forwarded to the CSR peel
+        engine (see :func:`repro.core.peel.peel_kappa_scores`).  Requires
+        ``backend="csr"``; falls back to the numpy loop (with a one-time
+        warning) when numba is not installed.
 
     Returns
     -------
@@ -297,6 +305,13 @@ def local_nucleus_decomposition(
         raise InvalidParameterError(
             f"backend must be one of {BACKENDS}, got {backend!r}"
         )
+    if kernel != "numpy":
+        resolve_kernel(kernel, warn=False)  # validate the name up front
+        if backend != "csr" and not isinstance(graph, CSRProbabilisticGraph):
+            raise InvalidParameterError(
+                f'kernel={kernel!r} requires backend="csr"; the dict backend '
+                "has no array engine to compile"
+            )
     estimator = resolve_local_options(theta, estimator)
 
     if isinstance(graph, CSRProbabilisticGraph):
@@ -307,7 +322,7 @@ def local_nucleus_decomposition(
         csr = None
 
     if csr is not None:
-        index, engine_scores = _csr_engine_arrays(csr, theta, estimator)
+        index, engine_scores = _csr_engine_arrays(csr, theta, estimator, kernel=kernel)
         scores = _label_space_scores(csr, index, engine_scores)
     else:
         states, by_clique = _build_states(graph, theta, estimator)

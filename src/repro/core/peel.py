@@ -48,6 +48,7 @@ from repro.core.approximations import DynamicProgrammingEstimator, SupportEstima
 from repro.core.batch import CSRTriangleIndex
 from repro.core.support_dp import NO_VALID_K
 from repro.exceptions import InvalidParameterError
+from repro.kernels import record_dispatch, resolve_kernel
 from repro.obs import config as obs_config
 from repro.obs.metrics import REGISTRY as obs_registry
 from repro.obs.spans import span
@@ -348,23 +349,71 @@ def peel_kappa_scores(
     index: CSRTriangleIndex,
     initial_kappas: np.ndarray,
     repair: KappaRepair,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Peel every triangle of ``index`` and return its nucleus score ν.
 
+    ``kernel="numba"`` dispatches to the compiled loops of
+    :mod:`repro.kernels.peel` when the repair supports them: the unit-drop
+    (exact-DP) bucket queue — bit-identical, the Poisson-binomial repair
+    stays in Python behind a batched callback — and the fully-jitted
+    Monte-Carlo lazy heap (distribution-identical; numba draws its own
+    variate stream).  Other repairs — the §5.3 approximated tails, whose
+    scores are trajectory-sensitive — always run the reference numpy loop,
+    as does everything when numba is not installed.
+
     When observability is on (``REPRO_OBS``), the run is wrapped in a
-    ``"peel"`` span and feeds the ``repro_peel_*`` counters — queue pops,
-    repair-hook invocations, and unit-drop lazy-bound deferrals — with the
-    counts accumulated in loop-local integers so the disabled-mode overhead
-    stays within the CI-gated 3% of the uninstrumented loop (see
-    ``docs/OBSERVABILITY.md``).
+    ``"peel"`` span (carrying the resolved ``kernel``) and feeds the
+    ``repro_peel_*`` counters — queue pops, repair-hook invocations, and
+    unit-drop lazy-bound deferrals — with the counts accumulated in
+    loop-local integers so the disabled-mode overhead stays within the
+    CI-gated 3% of the uninstrumented loop (see ``docs/OBSERVABILITY.md``).
     """
+    engine = resolve_kernel(kernel)
+    if engine == "numba" and not (
+        repair.unit_drop or isinstance(repair, MonteCarloKappaRepair)
+    ):
+        engine = "numpy"
     with span(
         "peel",
         triangles=index.num_triangles,
         repair=repair.name,
         queue="bucket" if repair.unit_drop else "heap",
+        kernel=engine,
     ):
+        record_dispatch("peel", engine)
+        if engine == "numba":
+            return _peel_kappa_scores_kernel(index, initial_kappas, repair)
         return _peel_kappa_scores(index, initial_kappas, repair)
+
+
+def _peel_kappa_scores_kernel(
+    index: CSRTriangleIndex,
+    initial_kappas: np.ndarray,
+    repair: KappaRepair,
+) -> np.ndarray:
+    """Drive the compiled peel loops of :mod:`repro.kernels.peel`."""
+    num_triangles = index.num_triangles
+    if initial_kappas.shape != (num_triangles,):
+        raise InvalidParameterError(
+            "initial_kappas must be parallel to index.triangles "
+            f"(expected shape ({num_triangles},), got {initial_kappas.shape})"
+        )
+    if num_triangles == 0:
+        return np.full(0, NO_VALID_K, dtype=np.int64)
+    from repro.kernels import peel as kernel_peel
+
+    if repair.unit_drop:
+        scores, repairs, deferrals = kernel_peel.peel_unit_drop(
+            index, initial_kappas, repair
+        )
+    else:
+        scores, repairs, deferrals = kernel_peel.peel_monte_carlo(
+            index, initial_kappas, repair
+        )
+    if obs_config._ENABLED:
+        _record_peel_metrics(repair, num_triangles, repairs, deferrals)
+    return scores
 
 
 def _record_peel_metrics(repair: KappaRepair, pops: int, repairs: int, deferrals: int) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.approximations import SupportEstimator
 from repro.core.global_nucleus import resolve_sampling_options
+from repro.sampling.partitioned import partitioned_weak_counts
 from repro.core.local import local_nucleus_decomposition
 from repro.core.result import LocalNucleusDecomposition, ProbabilisticNucleus
 from repro.deterministic.cliques import (
@@ -98,6 +99,8 @@ def triangle_weak_scores_matrix(
     rng: "np.random.Generator | random.Random | None" = None,
     seed: int | None = None,
     pool: WorldShardPool | None = None,
+    kernel: str = "numpy",
+    partitions: int = 1,
 ) -> dict[Triangle, float]:
     """World-matrix counterpart of :func:`triangle_weak_scores`.
 
@@ -107,13 +110,23 @@ def triangle_weak_scores_matrix(
     sharding the matrix across a :class:`WorldShardPool`.  The per-world
     membership rule is identical to the dict path; only the sampled stream
     differs (numpy bits instead of ``random.Random`` bits), so the two
-    estimators agree in distribution.
+    estimators agree in distribution.  ``kernel="numba"`` runs the compiled
+    per-world peel (:mod:`repro.kernels.worlds`); ``partitions > 1`` samples
+    the candidate's edge range one partition block at a time
+    (:func:`repro.sampling.partitioned.partitioned_weak_counts`) so the
+    worlds matrix is never materialized.
     """
     if n_samples <= 0:
         raise InvalidParameterError(f"n_samples must be positive, got {n_samples}")
     index = CandidateWorldIndex.from_graph(candidate)
-    worlds = index.sample(n_samples, rng=rng, seed=seed)
-    counts = weak_membership_counts(index, worlds, k, pool=pool)
+    if partitions > 1:
+        counts = partitioned_weak_counts(
+            index, n_samples, k, rng=rng, seed=seed,
+            partitions=partitions, pool=pool, kernel=kernel,
+        )
+    else:
+        worlds = index.sample(n_samples, rng=rng, seed=seed)
+        counts = weak_membership_counts(index, worlds, k, pool=pool, kernel=kernel)
     return {
         triangle: count / n_samples
         for triangle, count in zip(index.triangle_labels(), counts.tolist())
@@ -127,6 +140,7 @@ def _qualifying_triangles_adaptive(
     settings: AdaptiveSettings,
     rng: "np.random.Generator",
     pool: WorldShardPool | None = None,
+    kernel: str = "numpy",
 ) -> tuple[dict[Triangle, float], set[Triangle]]:
     """Sequential counterpart of the score-then-threshold step of Algorithm 3.
 
@@ -138,7 +152,7 @@ def _qualifying_triangles_adaptive(
     """
     index = CandidateWorldIndex.from_graph(candidate)
     estimates, qualifying, _ = adaptive_weak_scores(
-        index, k, theta, settings, rng=rng, pool=pool
+        index, k, theta, settings, rng=rng, pool=pool, kernel=kernel
     )
     labels = index.triangle_labels()
     scores = dict(zip(labels, estimates.tolist()))
@@ -164,6 +178,8 @@ def weak_nucleus_decomposition(
     n_worlds_max: int | None = None,
     chunk_initial: int = DEFAULT_CHUNK_INITIAL,
     chunk_growth: float = DEFAULT_CHUNK_GROWTH,
+    kernel: str = "numpy",
+    partitions: int = 1,
 ) -> list[ProbabilisticNucleus]:
     """Find (approximate) w-(k, θ)-nuclei of ``graph`` via Algorithm 3.
 
@@ -182,7 +198,11 @@ def weak_nucleus_decomposition(
     only) replaces the fixed-``n_samples`` scorer with the sequential test of
     :mod:`repro.sampling.adaptive`: each candidate keeps drawing geometric
     world chunks until every triangle's θ decision is settled at level
-    ``confidence`` or ``n_worlds_max`` worlds are spent.
+    ``confidence`` or ``n_worlds_max`` worlds are spent.  ``kernel`` and
+    ``partitions`` mirror
+    :func:`~repro.core.global_nucleus.global_nucleus_decomposition`:
+    compiled hot loops and partitioned (larger-than-RAM) candidate
+    sampling, both ``backend="csr"`` only.
     """
     if k < 0:
         raise InvalidParameterError(f"k must be non-negative, got {k}")
@@ -190,7 +210,7 @@ def weak_nucleus_decomposition(
         raise InvalidParameterError(f"theta must be in [0, 1], got {theta}")
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
-    engine_rng, adaptive = resolve_sampling_options(
+    engine_rng, adaptive, kernel = resolve_sampling_options(
         backend,
         n_jobs,
         rng,
@@ -201,11 +221,13 @@ def weak_nucleus_decomposition(
         chunk_initial=chunk_initial,
         chunk_growth=chunk_growth,
         n_samples=n_samples,
+        kernel=kernel,
+        partitions=partitions,
     )
 
     if local_result is None:
         local_result = local_nucleus_decomposition(
-            graph, theta, estimator=estimator, backend=backend
+            graph, theta, estimator=estimator, backend=backend, kernel=kernel
         )
     candidates = local_result.nuclei(k)
 
@@ -216,11 +238,12 @@ def weak_nucleus_decomposition(
             subgraph = candidate.subgraph
             if adaptive is not None:
                 scores, qualifying = _qualifying_triangles_adaptive(
-                    subgraph, k, theta, adaptive, engine_rng, pool=pool
+                    subgraph, k, theta, adaptive, engine_rng, pool=pool, kernel=kernel
                 )
             elif backend == "csr":
                 scores = triangle_weak_scores_matrix(
-                    subgraph, k, n_samples, rng=engine_rng, pool=pool
+                    subgraph, k, n_samples, rng=engine_rng, pool=pool,
+                    kernel=kernel, partitions=partitions,
                 )
                 qualifying = {t for t, score in scores.items() if score >= theta}
             else:

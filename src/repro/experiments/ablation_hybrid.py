@@ -109,7 +109,11 @@ def _run_cell(
 
     with timer() as dp_timer:
         exact = local_nucleus_decomposition(
-            graph, theta, estimator=DynamicProgrammingEstimator(), backend=config.backend
+            graph,
+            theta,
+            estimator=DynamicProgrammingEstimator(),
+            backend=config.backend,
+            kernel=config.kernel,
         )
     dp_seconds = dp_timer.seconds
 
@@ -120,7 +124,8 @@ def _run_cell(
         else:
             with timer() as t:
                 result = local_nucleus_decomposition(
-                    graph, theta, estimator=estimator, backend=config.backend
+                    graph, theta, estimator=estimator, backend=config.backend,
+                    kernel=config.kernel,
                 )
             seconds = t.seconds
         total = len(exact.scores)

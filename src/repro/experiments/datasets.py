@@ -22,10 +22,13 @@ sensitive to:
   0.27): planted communities over a larger sparse background with a low-mean
   Beta model.
 
-Each dataset is available at two scales: ``tiny`` (hundreds of triangles;
-used by the test-suite) and ``small`` (thousands of triangles; used by the
-benchmark harness).  Generation is seeded, so repeated calls return identical
-graphs.
+Each dataset is available at three scales: ``tiny`` (hundreds of
+triangles; used by the test-suite), ``small`` (thousands of triangles; the
+benchmark default), and ``large`` (the kernel-benchmark tier: enough
+triangles and 4-cliques that the compiled kernels of :mod:`repro.kernels`
+dominate the portable numpy loops, and edge counts where the partitioned
+sampler of :mod:`repro.sampling.partitioned` starts to matter).  Generation
+is seeded, so repeated calls return identical graphs.
 """
 
 from __future__ import annotations
@@ -50,8 +53,8 @@ __all__ = ["DatasetSpec", "DATASET_NAMES", "SCALES", "dataset_spec", "load_datas
 DATASET_NAMES = ("krogan", "dblp", "flickr", "pokec", "biomine", "ljournal")
 
 #: Available scales.  ``tiny`` keeps unit tests fast; ``small`` is the
-#: benchmark default.
-SCALES = ("tiny", "small")
+#: benchmark default; ``large`` is the kernel/partitioned-sampling tier.
+SCALES = ("tiny", "small", "large")
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,7 @@ def _krogan(scale: str) -> GeneratorSpec:
     sizes = {
         "tiny": ([8, 6, 5], 25),
         "small": ([10, 9, 8, 7, 6], 60),
+        "large": ([12, 11, 10, 9, 8, 7, 6], 120),
     }
     community_sizes, background = sizes[scale]
     return GeneratorSpec(
@@ -95,6 +99,7 @@ def _dblp(scale: str) -> GeneratorSpec:
     sizes = {
         "tiny": ([9, 7, 6, 5], 30),
         "small": ([13, 11, 10, 9, 8, 7, 6, 6, 5], 120),
+        "large": ([16, 14, 12, 11, 10, 9, 8, 7, 6, 6, 5], 260),
     }
     community_sizes, background = sizes[scale]
     return GeneratorSpec(
@@ -119,6 +124,7 @@ def _flickr(scale: str) -> GeneratorSpec:
     sizes = {
         "tiny": ([11, 8, 6, 5], 50),
         "small": ([16, 13, 11, 9, 8, 7, 6, 6, 5, 5], 180),
+        "large": ([20, 16, 13, 11, 10, 9, 8, 7, 6, 6, 5, 5], 380),
     }
     community_sizes, background = sizes[scale]
     return GeneratorSpec(
@@ -141,7 +147,7 @@ def _flickr(scale: str) -> GeneratorSpec:
 
 
 def _pokec(scale: str) -> GeneratorSpec:
-    sizes = {"tiny": (120, 4), "small": (450, 5)}
+    sizes = {"tiny": (120, 4), "small": (450, 5), "large": (1200, 6)}
     vertices, attachment = sizes[scale]
     return GeneratorSpec(
         name="pokec",
@@ -160,6 +166,7 @@ def _biomine(scale: str) -> GeneratorSpec:
     sizes = {
         "tiny": ([10, 7, 6], 40),
         "small": ([14, 12, 10, 8, 7, 6, 5], 160),
+        "large": ([18, 15, 13, 11, 10, 8, 7, 6, 5], 340),
     }
     community_sizes, background = sizes[scale]
     return GeneratorSpec(
@@ -179,7 +186,7 @@ def _biomine(scale: str) -> GeneratorSpec:
 
 
 def _ljournal(scale: str) -> GeneratorSpec:
-    sizes = {"tiny": (150, 4), "small": (600, 5)}
+    sizes = {"tiny": (150, 4), "small": (600, 5), "large": (1600, 6)}
     vertices, attachment = sizes[scale]
     return GeneratorSpec(
         name="ljournal",

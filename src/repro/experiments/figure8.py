@@ -84,7 +84,8 @@ def _run_cell(
     graph = load_dataset(params["dataset"], config.scale)
     theta, n_samples, seed = params["theta"], params["n_samples"], params["seed"]
     local = cache.local(
-        graph, theta, backend=config.backend, dataset=params["dataset"]
+        graph, theta, backend=config.backend, dataset=params["dataset"],
+        kernel=config.kernel,
     )
     max_k = max(1, local.max_score)
 

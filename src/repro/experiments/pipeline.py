@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import InvalidParameterError
+from repro.kernels import resolve_kernel
 from repro.obs import config as obs_config
 from repro.obs.metrics import REGISTRY as obs_registry
 from repro.obs.metrics import snapshot as obs_snapshot
@@ -103,6 +104,16 @@ class RunConfig:
         of :mod:`repro.sampling.adaptive` at the given ``confidence`` with a
         per-candidate cap of ``n_worlds_max`` worlds (``None`` → twice the
         cell's fixed budget).  Recorded in every artifact's config block.
+    kernel:
+        Hot-loop implementation: ``"numpy"`` (default) or ``"numba"`` — the
+        compiled peel / world-verification kernels of :mod:`repro.kernels`
+        (``backend="csr"`` only; falls back to numpy with a one-time warning
+        when numba is not installed).  The artifact config block records
+        both the request and the resolved value.
+    partitions:
+        Edge partitions per candidate world sample in global/weak cells
+        (default 1 = monolithic matrix; >1 requires ``backend="csr"`` and
+        ``sampling="fixed"``, see :mod:`repro.sampling.partitioned`).
     """
 
     backend: str = "csr"
@@ -116,6 +127,8 @@ class RunConfig:
     sampling: str = "fixed"
     confidence: float = 0.95
     n_worlds_max: int | None = None
+    kernel: str = "numpy"
+    partitions: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -138,6 +151,29 @@ class RunConfig:
                 'sampling="adaptive" requires backend="csr" (the sequential '
                 "test runs on the world-matrix engine)"
             )
+        if self.kernel != "numpy":
+            resolve_kernel(self.kernel, warn=False)
+            if self.backend != "csr":
+                raise InvalidParameterError(
+                    f'kernel={self.kernel!r} requires backend="csr" (the dict '
+                    "engine has no array loops to compile)"
+                )
+        if not isinstance(self.partitions, int) or isinstance(self.partitions, bool) \
+                or self.partitions < 1:
+            raise InvalidParameterError(
+                f"partitions must be a positive integer, got {self.partitions!r}"
+            )
+        if self.partitions > 1:
+            if self.backend != "csr":
+                raise InvalidParameterError(
+                    'partitions > 1 requires backend="csr" (the partitioned '
+                    "sampler runs on the world-matrix engine)"
+                )
+            if self.sampling != "fixed":
+                raise InvalidParameterError(
+                    'partitions > 1 requires sampling="fixed" (the sequential '
+                    "test draws incremental chunks)"
+                )
 
     def sampling_kwargs(self) -> dict:
         """Keyword arguments for the decomposition drivers' sampling knobs.
@@ -145,11 +181,15 @@ class RunConfig:
         Empty for ``sampling="fixed"`` so fixed-path calls stay byte-for-byte
         identical to the pre-adaptive pipeline (golden parity).
         """
-        if self.sampling == "fixed":
-            return {}
-        kwargs: dict = {"sampling": self.sampling, "confidence": self.confidence}
-        if self.n_worlds_max is not None:
-            kwargs["n_worlds_max"] = self.n_worlds_max
+        kwargs: dict = {}
+        if self.sampling != "fixed":
+            kwargs.update(sampling=self.sampling, confidence=self.confidence)
+            if self.n_worlds_max is not None:
+                kwargs["n_worlds_max"] = self.n_worlds_max
+        if self.kernel != "numpy":
+            kwargs["kernel"] = self.kernel
+        if self.partitions != 1:
+            kwargs["partitions"] = self.partitions
         return kwargs
 
     def matches(self, params: dict) -> bool:
@@ -262,6 +302,9 @@ class ExperimentRun:
                 "sampling": self.config.sampling,
                 "confidence": self.config.confidence,
                 "n_worlds_max": self.config.n_worlds_max,
+                "kernel": self.config.kernel,
+                "kernel_resolved": resolve_kernel(self.config.kernel, warn=False),
+                "partitions": self.config.partitions,
             },
             "row_fields": row_fields,
             "num_rows": len(self.rows),
@@ -446,6 +489,7 @@ class DecompositionCache:
         estimator=None,
         backend: str = "csr",
         dataset: str | None = None,
+        kernel: str = "numpy",
     ):
         """Return the local decomposition of ``graph`` at ``theta``, cached.
 
@@ -467,7 +511,7 @@ class DecompositionCache:
         if not self.enabled:
             self.misses += 1
             return local_nucleus_decomposition(
-                graph, theta, estimator=estimator, backend=backend
+                graph, theta, estimator=estimator, backend=backend, kernel=kernel
             )
 
         if key in self._memory:
@@ -488,7 +532,7 @@ class DecompositionCache:
                 return result
 
         result = local_nucleus_decomposition(
-            graph, theta, estimator=estimator, backend=backend
+            graph, theta, estimator=estimator, backend=backend, kernel=kernel
         )
         self._memory[key] = result
         self.misses += 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 from collections.abc import Sequence
 
+from repro.experiments.datasets import SCALES
 from repro.experiments.formatting import render_markdown
 from repro.experiments.pipeline import RunConfig, run_pipeline
 from repro.experiments.registry import EXPERIMENT_NAMES, SPECS, get_spec
@@ -78,7 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--scale",
-        choices=("tiny", "small"),
+        choices=SCALES,
         default="small",
         help="dataset registry scale (default: small)",
     )
@@ -145,6 +146,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-candidate world cap of the adaptive test "
         "(default: twice the cell's fixed budget)",
     )
+    run.add_argument(
+        "--kernel",
+        choices=("numpy", "numba"),
+        default="numpy",
+        help="hot-loop implementation: portable numpy (default) or the "
+        "compiled kernels of the [kernels] extra (falls back to numpy with "
+        "a warning when numba is not installed)",
+    )
+    run.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        metavar="P",
+        help="edge partitions per candidate world sample in global/weak "
+        "cells (default 1 = monolithic matrix; >1 bounds peak memory by "
+        "one partition block)",
+    )
     return parser
 
 
@@ -182,6 +200,8 @@ def _run_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         sampling=args.sampling,
         confidence=args.confidence,
         n_worlds_max=args.n_worlds_max,
+        kernel=args.kernel,
+        partitions=args.partitions,
     )
     runs = run_pipeline(names, config)
     for name in names:

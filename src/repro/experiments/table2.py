@@ -99,11 +99,11 @@ def _run_cell(
     theta = params["theta"]
     dp = cache.local(
         graph, theta, estimator=None, backend=config.backend,
-        dataset=params["dataset"],
+        dataset=params["dataset"], kernel=config.kernel,
     )
     ap = cache.local(
         graph, theta, estimator=HybridEstimator(), backend=config.backend,
-        dataset=params["dataset"],
+        dataset=params["dataset"], kernel=config.kernel,
     )
     total, average_error, percent = _score_comparison(dp, ap)
     return [

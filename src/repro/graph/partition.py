@@ -1,0 +1,190 @@
+"""On-disk partitioned CSR store for graphs larger than RAM.
+
+The monolithic Monte-Carlo verifier samples an ``(n_worlds, num_edges)``
+boolean worlds matrix in one allocation — the first thing to blow up when a
+``scale=large`` graph's edge count climbs into the hundreds of thousands.
+This module stores a :class:`~repro.graph.csr.CSRProbabilisticGraph` as a
+*directory* of raw ``.npy`` arrays plus a JSON manifest that fixes a
+partition of the undirected edge id range ``0 … m-1`` into contiguous
+blocks:
+
+``indptr.npy`` / ``indices.npy`` / ``probabilities.npy``
+    The CSR arrays, one file each (``.npy`` rather than ``.npz`` members
+    because :func:`numpy.load` only honours ``mmap_mode`` for standalone
+    files).  :func:`load_partitioned_csr` maps them with ``mmap_mode="r"``,
+    so opening a multi-gigabyte graph touches no pages until they are read.
+``labels.json``
+    The vertex labels in id order (labels must be JSON round-trippable).
+``manifest.json``
+    Format tag, counts, and the half-open edge ranges of every partition —
+    planned with :func:`repro.sampling.sharding.plan_shards`, so partition
+    boundaries are a pure function of ``(num_edges, partitions)``.
+
+The *edge id* space is the canonical upper-triangle order used everywhere
+else (``CandidateWorldIndex`` columns, ``CSRProbabilisticGraph.edge_arrays``):
+partition ``p`` owns world-matrix *columns* ``start … stop-1``, which is what
+lets :mod:`repro.sampling.partitioned` sample per-partition column blocks
+instead of the full matrix.
+
+This module stays within the graph layer — it never imports the sampling
+package; the partition-aware verification lives in
+:mod:`repro.sampling.partitioned`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.csr import CSRProbabilisticGraph
+from repro.sampling.sharding import plan_shards
+
+__all__ = [
+    "PartitionedCSRGraph",
+    "partition_edge_ranges",
+    "save_partitioned_csr",
+    "load_partitioned_csr",
+]
+
+#: Manifest format tag; bump on any on-disk layout change.
+FORMAT = "repro-partitioned-csr-v1"
+
+_ARRAYS = ("indptr", "indices", "probabilities")
+
+
+def partition_edge_ranges(num_edges: int, partitions: int) -> tuple[tuple[int, int], ...]:
+    """The non-empty half-open edge ranges of a ``partitions``-way split.
+
+    :func:`~repro.sampling.sharding.plan_shards` with the empty trailing
+    blocks dropped (a graph with fewer edges than requested partitions just
+    gets fewer partitions).
+
+    >>> partition_edge_ranges(10, 3)
+    ((0, 4), (4, 7), (7, 10))
+    >>> partition_edge_ranges(2, 4)
+    ((0, 1), (1, 2))
+    """
+    if isinstance(num_edges, bool) or not isinstance(num_edges, int) or num_edges < 0:
+        raise InvalidParameterError(
+            f"num_edges must be a non-negative integer, got {num_edges!r}"
+        )
+    return tuple(
+        (start, stop) for start, stop in plan_shards(num_edges, partitions) if stop > start
+    )
+
+
+class PartitionedCSRGraph:
+    """A CSR graph bound to a fixed partition of its edge id range.
+
+    ``graph`` is a regular :class:`CSRProbabilisticGraph` — possibly backed
+    by memory-mapped arrays when loaded from disk — and ``edge_ranges`` the
+    contiguous half-open blocks covering ``0 … num_edges-1``.  The class is
+    a thin pairing: all decomposition entry points take the underlying graph
+    plus a ``partitions=`` count, and this object is how the on-disk store
+    round-trips that pairing.
+    """
+
+    __slots__ = ("graph", "edge_ranges")
+
+    def __init__(
+        self, graph: CSRProbabilisticGraph, edge_ranges: tuple[tuple[int, int], ...]
+    ) -> None:
+        ranges = tuple((int(start), int(stop)) for start, stop in edge_ranges)
+        expected = 0
+        for start, stop in ranges:
+            if start != expected or stop <= start:
+                raise InvalidParameterError(
+                    f"edge_ranges must be contiguous non-empty blocks, got {ranges!r}"
+                )
+            expected = stop
+        if expected != graph.num_edges:
+            raise InvalidParameterError(
+                f"edge_ranges cover {expected} edges but the graph has {graph.num_edges}"
+            )
+        self.graph = graph
+        self.edge_ranges = ranges
+
+    @classmethod
+    def from_graph(
+        cls, graph: CSRProbabilisticGraph, partitions: int
+    ) -> "PartitionedCSRGraph":
+        """Partition ``graph``'s edge range into ``partitions`` blocks."""
+        if graph.num_edges == 0:
+            raise InvalidParameterError("cannot partition a graph with no edges")
+        return cls(graph, partition_edge_ranges(graph.num_edges, partitions))
+
+    @property
+    def num_partitions(self) -> int:
+        """How many non-empty edge blocks the partition holds."""
+        return len(self.edge_ranges)
+
+
+def save_partitioned_csr(
+    graph: CSRProbabilisticGraph, directory, partitions: int
+) -> PartitionedCSRGraph:
+    """Write ``graph`` to ``directory`` as a partitioned CSR store.
+
+    Creates the directory (parents included), writes the three CSR arrays as
+    standalone ``.npy`` files, the labels as JSON, and the manifest fixing
+    the ``partitions``-way edge split.  Returns the in-memory pairing so the
+    caller can keep working without re-opening the store.
+    """
+    partitioned = PartitionedCSRGraph.from_graph(graph, partitions)
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    np.save(path / "indptr.npy", np.ascontiguousarray(graph.indptr, dtype=np.int64))
+    np.save(path / "indices.npy", np.ascontiguousarray(graph.indices, dtype=np.int64))
+    np.save(
+        path / "probabilities.npy",
+        np.ascontiguousarray(graph.probabilities, dtype=np.float64),
+    )
+    try:
+        labels_text = json.dumps(graph.vertex_labels)
+    except TypeError as exc:
+        raise InvalidParameterError(
+            "partitioned CSR stores require JSON-serializable vertex labels"
+        ) from exc
+    (path / "labels.json").write_text(labels_text, encoding="utf-8")
+    manifest = {
+        "format": FORMAT,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "edge_ranges": [[start, stop] for start, stop in partitioned.edge_ranges],
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return partitioned
+
+
+def load_partitioned_csr(directory) -> PartitionedCSRGraph:
+    """Open a partitioned CSR store with memory-mapped arrays.
+
+    The CSR arrays are loaded with ``mmap_mode="r"`` — the returned graph's
+    ``indptr``/``indices``/``probabilities`` are read-only views over the
+    files, so the resident footprint is just the pages actually touched.
+    JSON labels come back as written (lists of strings/numbers).
+    """
+    path = Path(directory)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.is_file():
+        raise InvalidParameterError(f"no partitioned CSR manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != FORMAT:
+        raise InvalidParameterError(
+            f"unsupported partitioned CSR format {manifest.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    arrays = {name: np.load(path / f"{name}.npy", mmap_mode="r") for name in _ARRAYS}
+    labels = json.loads((path / "labels.json").read_text(encoding="utf-8"))
+    graph = CSRProbabilisticGraph(
+        arrays["indptr"], arrays["indices"], arrays["probabilities"], labels
+    )
+    if graph.num_edges != int(manifest["num_edges"]):
+        raise InvalidParameterError(
+            f"manifest lists {manifest['num_edges']} edges but the arrays "
+            f"hold {graph.num_edges}"
+        )
+    edge_ranges = tuple((int(a), int(b)) for a, b in manifest["edge_ranges"])
+    return PartitionedCSRGraph(graph, edge_ranges)

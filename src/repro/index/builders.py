@@ -38,6 +38,7 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.csr import CSRProbabilisticGraph
 from repro.graph.probabilistic_graph import ProbabilisticGraph
 from repro.index.nucleus_index import NucleusIndex
+from repro.kernels import resolve_kernel
 from repro.obs import config as obs_config
 from repro.obs.metrics import REGISTRY as obs_registry
 from repro.obs.spans import span
@@ -174,11 +175,12 @@ def _build_local_index_csr(
     theta: float,
     estimator: SupportEstimator | None,
     params: dict,
+    kernel: str = "numpy",
 ) -> NucleusIndex:
     """Snapshot the CSR peel engine's output arrays without a dict-result detour."""
     estimator = resolve_local_options(theta, estimator)
     csr = graph if isinstance(graph, CSRProbabilisticGraph) else graph.to_csr()
-    index, scores = _csr_engine_arrays(csr, theta, estimator)
+    index, scores = _csr_engine_arrays(csr, theta, estimator, kernel=kernel)
     rows = np.asarray(index.triangles, dtype=np.int64).reshape(len(index.triangles), 3)
     merged = {"estimator": estimator.name}
     merged.update(params)
@@ -199,6 +201,7 @@ def build_local_index(
     estimator: SupportEstimator | None = None,
     backend: str = "dict",
     local_result: LocalNucleusDecomposition | None = None,
+    kernel: str = "numpy",
 ) -> NucleusIndex:
     """Run the local decomposition (unless ``local_result`` is given) and index it.
 
@@ -214,11 +217,13 @@ def build_local_index(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
             )
         if backend == "csr" or isinstance(graph, CSRProbabilisticGraph):
+            params = {"backend": backend}
+            params.update(_engine_params(kernel))
             return _build_local_index_csr(
-                graph, theta, estimator, params={"backend": backend}
+                graph, theta, estimator, params=params, kernel=kernel
             )
         local_result = local_nucleus_decomposition(
-            graph, theta, estimator=estimator, backend=backend
+            graph, theta, estimator=estimator, backend=backend, kernel=kernel
         )
     return NucleusIndex.from_local_result(local_result, params={"backend": backend})
 
@@ -239,6 +244,25 @@ def _sampling_params(sampling: str, confidence: float, n_worlds_max: int | None)
     }
 
 
+def _engine_params(kernel: str, partitions: int = 1) -> dict:
+    """The compute-engine block recorded into ``.npz`` param headers.
+
+    Same empty-at-defaults contract as :func:`_sampling_params`: the default
+    ``kernel="numpy"``/``partitions=1`` record nothing, keeping default-path
+    archives byte-identical to pre-kernel builds.  A non-default kernel
+    records both the request and what it resolved to on the building
+    machine (``kernel_resolved``), so an archive built with the numpy
+    fallback is distinguishable from one whose loops actually compiled.
+    """
+    params: dict = {}
+    if kernel != "numpy":
+        params["kernel"] = kernel
+        params["kernel_resolved"] = resolve_kernel(kernel, warn=False)
+    if partitions != 1:
+        params["partitions"] = partitions
+    return params
+
+
 def build_global_index(
     graph: ProbabilisticGraph,
     k: int,
@@ -250,10 +274,13 @@ def build_global_index(
     sampling: str = "fixed",
     confidence: float = 0.95,
     n_worlds_max: int | None = None,
+    kernel: str = "numpy",
+    partitions: int = 1,
     **kwargs,
 ) -> NucleusIndex:
     """Run the global decomposition at ``k`` and index the verified nuclei."""
     sampling_kwargs = _sampling_params(sampling, confidence, n_worlds_max)
+    engine_kwargs = _engine_params(kernel, partitions)
     nuclei = global_nucleus_decomposition(
         graph,
         k,
@@ -262,11 +289,14 @@ def build_global_index(
         n_samples=n_samples,
         rng=rng,
         seed=seed,
+        kernel=kernel,
+        partitions=partitions,
         **sampling_kwargs,
         **kwargs,
     )
     params = {"k": k, "backend": backend, "n_samples": n_samples, "seed": seed}
     params.update(sampling_kwargs)
+    params.update(engine_kwargs)
     return NucleusIndex.from_nuclei(
         graph, nuclei, k=k, theta=theta, mode="global", params=params
     )
@@ -283,10 +313,13 @@ def build_weak_index(
     sampling: str = "fixed",
     confidence: float = 0.95,
     n_worlds_max: int | None = None,
+    kernel: str = "numpy",
+    partitions: int = 1,
     **kwargs,
 ) -> NucleusIndex:
     """Run the weakly-global decomposition at ``k`` and index the resulting nuclei."""
     sampling_kwargs = _sampling_params(sampling, confidence, n_worlds_max)
+    engine_kwargs = _engine_params(kernel, partitions)
     nuclei = weak_nucleus_decomposition(
         graph,
         k,
@@ -295,11 +328,14 @@ def build_weak_index(
         n_samples=n_samples,
         rng=rng,
         seed=seed,
+        kernel=kernel,
+        partitions=partitions,
         **sampling_kwargs,
         **kwargs,
     )
     params = {"k": k, "backend": backend, "n_samples": n_samples, "seed": seed}
     params.update(sampling_kwargs)
+    params.update(engine_kwargs)
     return NucleusIndex.from_nuclei(
         graph, nuclei, k=k, theta=theta, mode="weakly-global", params=params
     )

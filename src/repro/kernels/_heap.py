@@ -1,0 +1,52 @@
+"""Array-backed binary min-heap shared by the compiled peel loops.
+
+The reference loops use :class:`repro.peeling.LazyMinHeap` over ``(value,
+item)`` tuples; the kernels encode the same strict total order into a single
+``int64`` key (``(value + offset) * n + item``) and run a plain binary heap
+over a preallocated array, handling staleness by skipping entries whose
+stored value no longer matches — the popped sequence of live, up-to-date
+entries is identical to the lazy heap's.
+"""
+
+from __future__ import annotations
+
+__all__ = ["build_heap"]
+
+
+def build_heap(jit):
+    """Return ``(heap_push, heap_pop)``, compiled when ``jit`` is given."""
+
+    def heap_push(heap, size, key):
+        heap[size] = key
+        child = size
+        while child > 0:
+            parent = (child - 1) // 2
+            if heap[parent] <= heap[child]:
+                break
+            heap[parent], heap[child] = heap[child], heap[parent]
+            child = parent
+        return size + 1
+
+    def heap_pop(heap, size):
+        top = heap[0]
+        size -= 1
+        heap[0] = heap[size]
+        parent = 0
+        while True:
+            left = 2 * parent + 1
+            if left >= size:
+                break
+            smallest = left
+            right = left + 1
+            if right < size and heap[right] < heap[left]:
+                smallest = right
+            if heap[parent] <= heap[smallest]:
+                break
+            heap[parent], heap[smallest] = heap[smallest], heap[parent]
+            parent = smallest
+        return top, size
+
+    if jit is not None:
+        heap_push = jit(heap_push)
+        heap_pop = jit(heap_pop)
+    return heap_push, heap_pop

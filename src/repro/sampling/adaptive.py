@@ -58,6 +58,11 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.obs import config as obs_config
 from repro.obs.metrics import REGISTRY as obs_registry
+from repro.sampling.sharding import (
+    _require_finite,
+    _require_positive_int,
+    chunk_schedule,
+)
 from repro.sampling.world_matrix import (
     CandidateWorldIndex,
     WorldShardPool,
@@ -89,7 +94,8 @@ SAMPLING_MODES = ("fixed", "adaptive")
 #: Default decision confidence ``1 − δ`` of the sequential test.
 DEFAULT_CONFIDENCE = 0.95
 
-#: Default size of the first world chunk.
+#: Default size of the first world chunk (re-exported from
+#: :mod:`repro.sampling.sharding`, the shared split-planning module).
 DEFAULT_CHUNK_INITIAL = 16
 
 #: Default geometric growth factor between consecutive chunks.
@@ -97,22 +103,6 @@ DEFAULT_CHUNK_GROWTH = 2.0
 
 #: Power-of-two buckets for the worlds-per-candidate histogram (1 … 16384).
 WORLD_COUNT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(15))
-
-
-def _require_positive_int(name: str, value) -> int:
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
-    if value < 1:
-        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
-    return value
-
-
-def _require_finite(name: str, value) -> float:
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise InvalidParameterError(f"{name} must be a finite number, got {value!r}")
-    if not math.isfinite(value):
-        raise InvalidParameterError(f"{name} must be a finite number, got {value!r}")
-    return float(value)
 
 
 @dataclass(frozen=True)
@@ -207,40 +197,6 @@ def resolve_adaptive_settings(
     return settings if sampling == "adaptive" else None
 
 
-def chunk_schedule(
-    n_worlds_max: int,
-    chunk_initial: int = DEFAULT_CHUNK_INITIAL,
-    chunk_growth: float = DEFAULT_CHUNK_GROWTH,
-) -> tuple[int, ...]:
-    """The geometric chunk sizes summing exactly to ``n_worlds_max``.
-
-    The nominal size starts at ``chunk_initial`` and multiplies by
-    ``chunk_growth`` after every chunk; the final chunk is truncated so the
-    cumulative draw never exceeds the cap.
-
-    >>> chunk_schedule(400, 16, 2.0)
-    (16, 32, 64, 128, 160)
-    >>> chunk_schedule(10, 16, 2.0)
-    (10,)
-    """
-    _require_positive_int("n_worlds_max", n_worlds_max)
-    _require_positive_int("chunk_initial", chunk_initial)
-    growth = _require_finite("chunk_growth", chunk_growth)
-    if growth < 1.0:
-        raise InvalidParameterError(
-            f"chunk_growth must be a finite value >= 1, got {chunk_growth!r}"
-        )
-    sizes: list[int] = []
-    total = 0
-    nominal = float(chunk_initial)
-    while total < n_worlds_max:
-        step = min(max(1, int(nominal)), n_worlds_max - total)
-        sizes.append(step)
-        total += step
-        nominal *= growth
-    return tuple(sizes)
-
-
 def stage_delta(delta: float, stage: int) -> float:
     """Error budget spent by stage ``stage`` (1-based) of the sequence.
 
@@ -329,6 +285,7 @@ def adaptive_global_verify(
     rng: "np.random.Generator | random.Random | None" = None,
     seed: int | None = None,
     pool: "WorldShardPool | None" = None,
+    kernel: str = "numpy",
 ) -> tuple[bool, AdaptiveOutcome]:
     """Sequentially decide the global-model verification of one candidate.
 
@@ -351,7 +308,7 @@ def adaptive_global_verify(
     decided: bool | None = None
     for stage, chunk in enumerate(settings.schedule(), start=1):
         worlds = index.sample(chunk, rng=generator)
-        counts += global_triangle_counts(index, worlds, k, pool=pool)
+        counts += global_triangle_counts(index, worlds, k, pool=pool, kernel=kernel)
         drawn += chunk
         means = counts / drawn
         radius = decision_radius(drawn, means, stage_delta(settings.delta, stage))
@@ -379,6 +336,7 @@ def adaptive_weak_scores(
     rng: "np.random.Generator | random.Random | None" = None,
     seed: int | None = None,
     pool: "WorldShardPool | None" = None,
+    kernel: str = "numpy",
 ) -> tuple[np.ndarray, np.ndarray, AdaptiveOutcome]:
     """Sequentially decide, per triangle, whether its weak score reaches θ.
 
@@ -408,7 +366,7 @@ def adaptive_weak_scores(
     means = np.zeros(num_triangles, dtype=np.float64)
     for stage, chunk in enumerate(settings.schedule(), start=1):
         worlds = index.sample(chunk, rng=generator)
-        counts += weak_membership_counts(index, worlds, k, pool=pool)
+        counts += weak_membership_counts(index, worlds, k, pool=pool, kernel=kernel)
         drawn += chunk
         means = counts / drawn
         radius = decision_radius(drawn, means, stage_delta(settings.delta, stage))

@@ -67,7 +67,9 @@ from repro.obs import config as obs_config
 from repro.obs.metrics import REGISTRY as obs_registry
 from repro.obs.spans import span
 from repro.obs.timing import timer
+from repro.kernels import record_dispatch, resolve_kernel
 from repro.peeling import LazyMinHeap
+from repro.sampling.sharding import plan_shards
 
 __all__ = [
     "CandidateWorldIndex",
@@ -475,18 +477,35 @@ def global_triangle_counts(
     worlds: np.ndarray,
     k: int,
     pool: "WorldShardPool | None" = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Count, per triangle, the worlds that are k-nuclei *and* contain it.
 
     This is the quantity Algorithm 2 thresholds: dividing by the number of
     worlds gives the Monte-Carlo estimate of
     ``Pr[world is a k-nucleus ∧ △ ⊆ world]`` for every triangle at once.
+    ``kernel="numba"`` dispatches to the compiled per-world verifier of
+    :mod:`repro.kernels.worlds` — bit-identical counts for the same
+    ``worlds`` matrix (it evaluates the same predicates without the dense
+    incidence matmuls) — and degrades to the numpy path when numba is
+    missing.
     """
+    kernel = resolve_kernel(kernel)
     if pool is not None:
-        return pool.run(_global_counts_shard, index, worlds, k)
+        return pool.run(_global_counts_shard, index, worlds, k, kernel=kernel)
+    impl = _global_counts_numba if kernel == "numba" else _global_counts_impl
+    record_dispatch("verify.global", kernel)
     if obs_config._ENABLED:
-        return _instrumented_counts("global", _global_counts_impl, index, worlds, k)
-    return _global_counts_impl(index, worlds, k)
+        return _instrumented_counts("global", impl, index, worlds, k)
+    return impl(index, worlds, k)
+
+
+def _global_counts_numba(
+    index: CandidateWorldIndex, worlds: np.ndarray, k: int
+) -> np.ndarray:
+    from repro.kernels.worlds import global_counts
+
+    return global_counts(index, worlds, k)
 
 
 def _global_counts_impl(
@@ -574,30 +593,61 @@ def weak_membership_counts(
     worlds: np.ndarray,
     k: int,
     pool: "WorldShardPool | None" = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Count, per triangle, the worlds in which it belongs to some k-nucleus.
 
     The Algorithm 3 counting loop: dividing by the number of worlds gives the
     weak score estimate ``Pr(X_{H,△,w} ≥ k)`` of every candidate triangle.
+    ``kernel="numba"`` runs the compiled per-world peel of
+    :mod:`repro.kernels.worlds` — bit-identical counts for the same worlds.
     """
     if k < 0:
         raise InvalidParameterError(f"k must be non-negative, got {k}")
+    kernel = resolve_kernel(kernel)
     if pool is not None:
-        return pool.run(_weak_counts_shard, index, worlds, k)
+        return pool.run(_weak_counts_shard, index, worlds, k, kernel=kernel)
+    impl = _weak_counts_numba if kernel == "numba" else _weak_counts_impl
+    record_dispatch("verify.weak", kernel)
     if obs_config._ENABLED:
-        return _instrumented_counts("weak", _weak_counts_impl, index, worlds, k)
-    return _weak_counts_impl(index, worlds, k)
+        return _instrumented_counts("weak", impl, index, worlds, k)
+    return impl(index, worlds, k)
+
+
+def _weak_counts_numba(
+    index: CandidateWorldIndex, worlds: np.ndarray, k: int
+) -> np.ndarray:
+    tri_present, clique_present = structure_presence(index, worlds)
+    from repro.kernels.worlds import weak_counts_from_presence
+
+    return weak_counts_from_presence(index, tri_present, clique_present, k)
 
 
 def _weak_counts_impl(
     index: CandidateWorldIndex, worlds: np.ndarray, k: int
 ) -> np.ndarray:
     tri_present, clique_present = structure_presence(index, worlds)
+    return _weak_counts_from_presence(index, tri_present, clique_present, k)
+
+
+def _weak_counts_from_presence(
+    index: CandidateWorldIndex,
+    tri_present: np.ndarray,
+    clique_present: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """The weak counting loop over precomputed presence matrices.
+
+    Shared by the monolithic path (which derives presence from a sampled
+    worlds matrix) and the partitioned path of
+    :mod:`repro.sampling.partitioned` (which accumulates presence one edge
+    partition at a time and never materializes the worlds matrix).
+    """
     counts = np.zeros(index.num_triangles, dtype=np.int64)
     if index.num_triangles == 0:
         return counts
     covered = np.zeros(index.num_triangles, dtype=bool)
-    for i in range(worlds.shape[0]):
+    for i in range(tri_present.shape[0]):
         covered[:] = False
         _world_weak_covered(index, tri_present[i], clique_present[i], k, covered)
         counts += covered
@@ -608,17 +658,17 @@ def _weak_counts_impl(
 # multiprocessing shard pool
 # --------------------------------------------------------------------------- #
 def _global_counts_shard(
-    payload: tuple[CandidateWorldIndex, np.ndarray, int],
+    payload: tuple[CandidateWorldIndex, np.ndarray, int, str],
 ) -> np.ndarray:
-    index, worlds, k = payload
-    return global_triangle_counts(index, worlds, k)
+    index, worlds, k, kernel = payload
+    return global_triangle_counts(index, worlds, k, kernel=kernel)
 
 
 def _weak_counts_shard(
-    payload: tuple[CandidateWorldIndex, np.ndarray, int],
+    payload: tuple[CandidateWorldIndex, np.ndarray, int, str],
 ) -> np.ndarray:
-    index, worlds, k = payload
-    return weak_membership_counts(index, worlds, k)
+    index, worlds, k, kernel = payload
+    return weak_membership_counts(index, worlds, k, kernel=kernel)
 
 
 class WorldShardPool:
@@ -647,11 +697,18 @@ class WorldShardPool:
             context = multiprocessing.get_context()
         self._pool = context.Pool(processes=n_jobs)
 
-    def run(self, shard_function, index: CandidateWorldIndex, worlds: np.ndarray, k: int):
+    def run(
+        self,
+        shard_function,
+        index: CandidateWorldIndex,
+        worlds: np.ndarray,
+        k: int,
+        kernel: str = "numpy",
+    ):
         """Map ``shard_function`` over row blocks of ``worlds`` and sum the counts."""
         n_shards = min(self.n_jobs, worlds.shape[0])
         if n_shards <= 1:
-            return shard_function((index, worlds, k))
+            return shard_function((index, worlds, k, kernel))
         if obs_config._ENABLED:
             # Workers are separate processes: their registries are invisible
             # here, so the parent records the fan-out itself.
@@ -659,9 +716,22 @@ class WorldShardPool:
                 "repro_sampling_shards_total",
                 "World-matrix row blocks dispatched to shard-pool workers.",
             ).inc(n_shards)
-        blocks = np.array_split(worlds, n_shards, axis=0)
-        partials = self._pool.map(shard_function, [(index, block, k) for block in blocks])
+        # plan_shards replicates np.array_split block sizes, so the shard
+        # boundaries (and therefore the summed counts) are unchanged.
+        payloads = [
+            (index, worlds[start:stop], k, kernel)
+            for start, stop in plan_shards(worlds.shape[0], n_shards)
+        ]
+        partials = self._pool.map(shard_function, payloads)
         return np.sum(partials, axis=0)
+
+    def map(self, function, payloads: list):
+        """Map ``function`` over arbitrary payloads on the worker pool.
+
+        Used by :mod:`repro.sampling.partitioned` to fan edge partitions —
+        rather than world-row blocks — across the same worker processes.
+        """
+        return self._pool.map(function, payloads)
 
     def close(self) -> None:
         """Shut the worker processes down."""

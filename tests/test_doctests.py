@@ -13,20 +13,24 @@ import pytest
 
 import repro
 import repro.graph.csr
+import repro.graph.partition
 import repro.graph.probabilistic_graph
 import repro.index
 import repro.index.fingerprint
 import repro.query
 import repro.query.cache
+import repro.sampling.sharding
 
 MODULES = [
     repro,
     repro.graph.csr,
+    repro.graph.partition,
     repro.graph.probabilistic_graph,
     repro.index,
     repro.index.fingerprint,
     repro.query,
     repro.query.cache,
+    repro.sampling.sharding,
 ]
 
 
